@@ -1,0 +1,42 @@
+"""Ablation: the dimension-splitting extension of the non-overlap test.
+
+The paper's test extends Hoeflinger et al. [9] by splitting overlapping
+dimensions instead of failing (section V-C).  This ablation compiles every
+benchmark with splitting disabled and counts committed short-circuits:
+NW's anti-diagonal proofs (fig. 9) require splitting, so its circuit
+points must be lost; benchmarks with trivially disjoint regions keep
+theirs."""
+
+from conftest import save_result
+
+from repro.bench.programs import all_benchmarks
+from repro.compiler import compile_fun
+
+
+def test_ablation_dimension_splitting(benchmark):
+    rows = {}
+
+    def run():
+        for name, module in all_benchmarks().items():
+            fun = module.build()
+            with_split = compile_fun(fun, enable_splitting=True)
+            without = compile_fun(fun, enable_splitting=False)
+            rows[name] = (
+                with_split.sc_stats.committed,
+                without.sc_stats.committed,
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "== ablation: LMAD non-overlap dimension splitting ==",
+        f"{'bench':14s} {'with':>6s} {'without':>8s}",
+    ]
+    for name, (w, wo) in rows.items():
+        lines.append(f"{name:14s} {w:6d} {wo:8d}")
+    save_result("ablation_splitting", "\n".join(lines))
+    # NW's fig. 9 proofs need the splitting heuristic.
+    assert rows["nw"][0] == 2 and rows["nw"][1] == 0
+    # No benchmark gains circuits by disabling it.
+    for name, (w, wo) in rows.items():
+        assert wo <= w

@@ -1,0 +1,42 @@
+"""Memory-footprint ablation: the introduction's second promise.
+
+The paper's introduction motivates memory optimizations with (1) copy
+elimination and (2) "decreasing memory footprint by placing semantically
+different arrays in the same memory blocks".  This benchmark measures the
+second effect: total bytes allocated by each benchmark with and without
+short-circuiting (re-homed arrays make their original allocations dead,
+and the dead-allocation cleanup removes them)."""
+
+from conftest import save_result
+
+from repro.bench.programs import all_benchmarks
+from repro.bench.harness import compile_both
+from repro.mem.exec import MemExecutor
+
+
+def test_allocation_footprint(benchmark):
+    rows = {}
+
+    def run():
+        for name, module in all_benchmarks().items():
+            unopt, opt = compile_both(module)
+            inp = module.dry_inputs_for(*module.TEST_DATASETS["small"])
+            _, st_un = MemExecutor(unopt.fun, mode="dry").run(**dict(inp))
+            _, st_op = MemExecutor(opt.fun, mode="dry").run(**dict(inp))
+            rows[name] = (st_un.alloc_bytes, st_op.alloc_bytes)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "== allocation footprint with vs. without short-circuiting ==",
+        f"{'bench':14s} {'unopt bytes':>12s} {'opt bytes':>12s} {'saved':>8s}",
+    ]
+    for name, (un, op) in rows.items():
+        saved = 1 - op / un if un else 0.0
+        lines.append(f"{name:14s} {un:12,d} {op:12,d} {saved:7.1%}")
+    save_result("footprint", "\n".join(lines))
+    for name, (un, op) in rows.items():
+        assert op <= un, f"{name}: optimization must not allocate more"
+    # The headline benchmarks allocate substantially less.
+    assert rows["hotspot"][1] < rows["hotspot"][0]
+    assert rows["nw"][1] < rows["nw"][0]

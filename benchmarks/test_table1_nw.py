@@ -1,0 +1,18 @@
+"""Table I: NW performance (paper section VI-B).
+
+Paper (1000 runs): impact 1.17x-1.31x on A100, 1.13x-1.24x on MI100; the
+optimized code outperforms the hand-written Rodinia kernel on the largest
+datasets.  The fig. 9 non-overlap proof must succeed for both skewed loops
+(2 short-circuits committed)."""
+
+from conftest import table_benchmark
+
+from repro.bench.programs import nw
+
+
+def test_table1_nw(benchmark):
+    rep = table_benchmark(
+        benchmark, nw, paper_impacts=(1.13, 1.31), loop_sample=4
+    )
+    # Both halves' updates must short-circuit (the paper's NW story).
+    assert rep.sc_committed == 2

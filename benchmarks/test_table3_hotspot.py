@@ -1,0 +1,19 @@
+"""Table III: Hotspot performance (paper section VI-D).
+
+Paper (10 runs): the largest impacts of the evaluation, 1.78x-2.05x: every
+time step's boundary/interior parts are concatenated into the result, and
+short-circuiting constructs them there directly."""
+
+from conftest import table_benchmark
+
+from repro.bench.programs import hotspot
+
+
+def test_table3_hotspot(benchmark):
+    rep = table_benchmark(
+        benchmark, hotspot, paper_impacts=(1.78, 2.05), loop_sample=4
+    )
+    # The whole concat chain (3 outer operands + per-row chains) commits.
+    assert rep.sc_committed >= 6
+    for r in rep.rows:
+        assert r.impact > 1.5, f"hotspot impact collapsed: {r}"

@@ -1,0 +1,16 @@
+"""Table IV: LBM performance (paper section VI-E).
+
+Paper (100 runs): impact 1.09x-1.10x on A100 and 1.59x-1.60x on MI100; the
+mapnest's per-cell local distribution vector short-circuits into the next
+grid (the fig. 6b implicit circuit point)."""
+
+from conftest import table_benchmark
+
+from repro.bench.programs import lbm
+
+
+def test_table4_lbm(benchmark):
+    rep = table_benchmark(
+        benchmark, lbm, paper_impacts=(1.09, 1.60), loop_sample=4
+    )
+    assert rep.sc_committed == 1  # the mapnest implicit circuit

@@ -1,0 +1,16 @@
+"""Table V: OptionPricing performance (paper section VI-F).
+
+Paper (1000 runs): modest impact, 1.03x-1.21x -- the per-path local array
+short-circuits into the paths matrix, but pricing work dilutes the
+saving."""
+
+from conftest import table_benchmark
+
+from repro.bench.programs import optionpricing
+
+
+def test_table5_optionpricing(benchmark):
+    rep = table_benchmark(
+        benchmark, optionpricing, paper_impacts=(1.03, 1.21), loop_sample=4
+    )
+    assert rep.sc_committed == 1

@@ -1,0 +1,16 @@
+"""Table VI: LocVolCalib performance (paper section VI-G).
+
+Paper (10 runs): impact 1.04x-1.12x -- the per-step direction-alternation
+copy and the per-thread solve chain short-circuit through the timestep
+loop into the result matrix (fig. 5b + fig. 6b combined)."""
+
+from conftest import table_benchmark
+
+from repro.bench.programs import locvolcalib
+
+
+def test_table6_locvolcalib(benchmark):
+    rep = table_benchmark(
+        benchmark, locvolcalib, paper_impacts=(1.04, 1.12), loop_sample=4
+    )
+    assert rep.sc_committed >= 2

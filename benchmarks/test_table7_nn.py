@@ -1,0 +1,26 @@
+"""Table VII: NN performance (paper section VI-H).
+
+Paper (100 runs): impact 1.05x-1.55x, decreasing with dataset size; the
+Futhark version is 5x-200x faster than the reference because Rodinia uses
+a *sequential* reduction (modelled as per-element dependent latency in the
+reference cost model).  The per-round conservative copy of the distances
+is turned into a no-op by the dead-source memory reuse."""
+
+from conftest import table_benchmark
+
+from repro.bench.programs import nn
+
+
+def test_table7_nn(benchmark):
+    rep = table_benchmark(benchmark, nn, paper_impacts=(1.05, 1.55))
+    # The dead-source memory reuse is the mechanism behind this table.
+    assert rep.sc_reused_copies == 1
+    for r in rep.rows:
+        # The headline shape: Futhark beats the sequential-reduction ref
+        # by a widening margin as the dataset grows.
+        assert r.opt_rel > 2.0, f"NN should dominate the reference: {r}"
+    a100 = {r.dataset: r.opt_rel for r in rep.rows if r.device == "A100"}
+    rels = [a100[k] for k in sorted(a100, key=lambda s: int(s))]
+    assert rels == sorted(rels), "ref-relative speedup should grow with size"
+    # Divergence note (EXPERIMENTS.md): the paper's impact *decreases* with
+    # size; ours increases because the conservative copy we model is O(n).

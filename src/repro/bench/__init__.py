@@ -1,0 +1,19 @@
+"""Benchmark programs, reference implementations and the table harness.
+
+One module per paper benchmark under :mod:`repro.bench.programs`, each
+exposing:
+
+* ``build()``        -- the IR program (shape-polymorphic, written with the
+  :class:`repro.ir.FunBuilder` to mirror the paper's pseudo-code);
+* ``reference(...)`` -- a hand-written NumPy implementation playing the
+  role of the Rodinia/Parboil/FinPar reference;
+* ``datasets()``     -- the paper's dataset sizes plus scaled-down sizes
+  used for correctness validation;
+* ``ref_traffic(...)`` -- an analytic minimal-traffic model of the
+  hand-written GPU reference kernel, feeding the cost model's "Ref."
+  column.
+
+:mod:`repro.bench.harness` compiles each program with and without
+short-circuiting, validates both against the reference at small sizes,
+dry-runs them at paper scale, and renders the paper's tables.
+"""

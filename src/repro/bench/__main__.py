@@ -1,0 +1,75 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+    python -m repro.bench                 # all seven tables (slow: dry-runs
+                                          # at the paper's dataset sizes)
+    python -m repro.bench nw hotspot      # a subset
+    python -m repro.bench nw --quick      # scaled-down datasets (seconds)
+    python -m repro.bench --list          # available benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import warnings
+
+from repro.bench.harness import run_table
+from repro.bench.programs import all_benchmarks
+
+#: Scaled-down datasets for --quick runs (same code paths, small sizes).
+QUICK_DATASETS = {
+    "nw": {"q64": (64, 16)},
+    "lud": {"q32": (32, 16)},
+    "hotspot": {"512": (512, 5)},
+    "lbm": {"short": (128, 10)},
+    "optionpricing": {"medium": (1024, 64)},
+    "locvolcalib": {"small": (8, 128, 32)},
+    "nn": {"855280": (855280,)},
+}
+
+
+def main(argv=None) -> int:
+    warnings.filterwarnings("ignore")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument("benchmarks", nargs="*", help="subset to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="scaled-down datasets")
+    parser.add_argument("--list", action="store_true",
+                        help="list available benchmarks")
+    parser.add_argument("--no-validate", action="store_true",
+                        help="skip the real-data validation run")
+    args = parser.parse_args(argv)
+
+    registry = all_benchmarks()
+    if args.list:
+        for name in registry:
+            print(name)
+        return 0
+
+    names = args.benchmarks or list(registry)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        module = registry[name]
+        datasets = QUICK_DATASETS[name] if args.quick else None
+        report = run_table(
+            module,
+            datasets=datasets,
+            do_validate=not args.no_validate,
+            loop_sample=4,
+        )
+        print(report.render())
+        print(f"validated: {report.validated}  "
+              f"short-circuits: {report.sc_committed}  "
+              f"dead-copy reuses: {report.sc_reused_copies}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""The evaluation harness: regenerate the paper's tables I-VII.
+
+For each benchmark and dataset the harness:
+
+1. compiles the IR program twice (with and without short-circuiting);
+2. validates both pipelines element-wise against the NumPy reference at a
+   scaled-down size (real executor mode);
+3. dry-runs both at the paper's dataset size, collecting exact traffic /
+   flop / launch counts;
+4. converts the counts to simulated time on the A100 and MI100 device
+   models, and models the hand-written reference kernel analytically
+   (each benchmark module's ``ref_traffic``);
+5. renders a paper-style table: Ref. ms, Unopt./Opt. Futhark as
+   ref-relative speed (ref_time / futhark_time, the paper's convention
+   where >1x means faster than the reference), and Opt. Impact
+   (unopt_time / opt_time -- the paper's headline column, which in this
+   reproduction depends only on exactly-counted traffic).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler import CompiledFun, compile_fun
+from repro.gpu import A100, MI100, CostModel, Device
+from repro.mem.exec import MemExecutor, RuntimeArray
+from repro.mem.stats import ExecStats
+
+
+@dataclass
+class Row:
+    """One table row on one device."""
+
+    device: str
+    dataset: str
+    ref_ms: float
+    unopt_rel: float  # ref_time / unopt_time  (paper's "Unopt. Futhark")
+    opt_rel: float  # ref_time / opt_time    (paper's "Opt. Futhark")
+    impact: float  # unopt_time / opt_time  (paper's "Opt. Impact")
+    unopt_ms: float = 0.0
+    opt_ms: float = 0.0
+
+
+@dataclass
+class BenchReport:
+    """All rows of one paper table, plus compile/validation metadata."""
+
+    name: str
+    rows: List[Row] = field(default_factory=list)
+    validated: bool = False
+    sc_committed: int = 0
+    sc_reused_copies: int = 0
+    compile_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        head = (
+            f"{'Dev':6s} {'Dataset':>10s} {'Ref.':>10s} "
+            f"{'Unopt.':>8s} {'Opt.':>8s} {'Impact':>8s}"
+        )
+        lines = [f"== {self.name} ==", head, "-" * len(head)]
+        for r in self.rows:
+            lines.append(
+                f"{r.device:6s} {r.dataset:>10s} {r.ref_ms:9.2f}ms "
+                f"{r.unopt_rel:7.2f}x {r.opt_rel:7.2f}x {r.impact:7.2f}x"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def compile_both(module) -> Tuple[CompiledFun, CompiledFun]:
+    """(unopt, opt) pipelines for a benchmark module."""
+    fun = module.build()
+    return (
+        compile_fun(fun, short_circuit=False),
+        compile_fun(fun, short_circuit=True),
+    )
+
+
+def materialize(ex: MemExecutor, val):
+    if isinstance(val, RuntimeArray):
+        return ex.mem[val.mem][val.ixfn.gather_offsets({})]
+    return val
+
+
+def validate(module, dataset: str = "small", compiled=None) -> bool:
+    """Run both pipelines on real data; compare against the interpreter-
+    independent NumPy reference via the module's ``check`` protocol."""
+    unopt, opt = compiled if compiled is not None else compile_both(module)
+    args = module.TEST_DATASETS[dataset]
+    inp = module.inputs_for(*args)
+    expected = _reference_of(module, args, inp)
+    for c in (unopt, opt):
+        ex = MemExecutor(c.fun)
+        vals, _ = ex.run(
+            **{k: (v.copy() if hasattr(v, "copy") else v) for k, v in inp.items()}
+        )
+        got = [materialize(ex, v) for v in vals]
+        for g, e in zip(got, expected):
+            if not np.allclose(np.asarray(g, dtype=np.float64),
+                               np.asarray(e, dtype=np.float64),
+                               rtol=1e-3, atol=1e-3):
+                return False
+    return True
+
+
+def _reference_of(module, args, inp) -> List[np.ndarray]:
+    """Invoke the module's NumPy reference with the right signature."""
+    name = module.__name__.rsplit(".", 1)[-1]
+    if name == "nw":
+        return [module.reference(inp["A"], inp["n"])]
+    if name == "lud":
+        return [module.reference(inp["A"], inp["n"])]
+    if name == "hotspot":
+        return [module.reference(inp["T"], inp["P"], inp["iters"])]
+    if name == "lbm":
+        return [module.reference(inp["f"], inp["n"], inp["steps"])]
+    if name == "locvolcalib":
+        return [module.reference(*args)]
+    if name == "optionpricing":
+        return [np.float32(module.reference(*args))]
+    if name == "nn":
+        v, i = module.reference(inp["lat"], inp["lng"], inp["qlat"], inp["qlng"])
+        return [v, i]
+    raise KeyError(name)
+
+
+# ----------------------------------------------------------------------
+def measure_dataset(
+    module,
+    args: Sequence,
+    compiled: Tuple[CompiledFun, CompiledFun],
+    loop_sample: Optional[int] = None,
+) -> Tuple[ExecStats, ExecStats]:
+    """Dry-run both pipelines at one dataset size; returns (unopt, opt).
+
+    ``loop_sample`` enables the executor's in-kernel loop sampling for
+    paper-scale datasets (exact for the uniform/linear per-thread loops of
+    these benchmarks; see tests/mem/test_exec.py for the equality check).
+    """
+    unopt, opt = compiled
+    inputs = module.dry_inputs_for(*args)
+    _, st_un = MemExecutor(unopt.fun, mode="dry", loop_sample=loop_sample).run(
+        **dict(inputs)
+    )
+    _, st_op = MemExecutor(opt.fun, mode="dry", loop_sample=loop_sample).run(
+        **dict(inputs)
+    )
+    return st_un, st_op
+
+
+def row_for(
+    module,
+    label: str,
+    args: Sequence,
+    device: Device,
+    stats: Tuple[ExecStats, ExecStats],
+) -> Row:
+    st_un, st_op = stats
+    cm = CostModel(device)
+    t_un = cm.total_time(st_un)
+    t_op = cm.total_time(st_op)
+    rt = module.ref_traffic(*args)
+    seq = rt[2] if len(rt) > 2 else 0
+    # The hand-written kernel does the same computation with about as many
+    # launches as the optimized code and no redundant copies.
+    t_ref = cm.time_of_traffic(
+        rt[0],
+        rt[1],
+        flops=st_op.flops,
+        launches=st_op.launches,
+        sequential_elems=seq,
+    )
+    return Row(
+        device=device.name,
+        dataset=label,
+        ref_ms=t_ref * 1e3,
+        unopt_rel=t_ref / t_un,
+        opt_rel=t_ref / t_op,
+        impact=t_un / t_op,
+        unopt_ms=t_un * 1e3,
+        opt_ms=t_op * 1e3,
+    )
+
+
+def run_table(
+    module,
+    datasets: Optional[Dict[str, Sequence]] = None,
+    devices: Sequence[Device] = (A100, MI100),
+    do_validate: bool = True,
+    loop_sample: Optional[int] = None,
+) -> BenchReport:
+    """Regenerate one paper table for a benchmark module."""
+    name = module.__name__.rsplit(".", 1)[-1]
+    report = BenchReport(name=name)
+    compiled = compile_both(module)
+    report.sc_committed = compiled[1].sc_stats.committed
+    report.sc_reused_copies = compiled[1].sc_stats.reused_copies
+    report.compile_seconds = {
+        "unopt": compiled[0].compile_seconds,
+        "opt": compiled[1].compile_seconds,
+    }
+    if do_validate:
+        report.validated = validate(module, "small", compiled)
+    table = datasets if datasets is not None else module.PAPER_DATASETS
+    for label, args in table.items():
+        stats = measure_dataset(module, args, compiled, loop_sample=loop_sample)
+        for device in devices:
+            report.rows.append(row_for(module, label, args, device, stats))
+    return report

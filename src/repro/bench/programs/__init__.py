@@ -1,0 +1,30 @@
+"""IR implementations of the paper's seven evaluation benchmarks.
+
+Import benchmark modules directly (``from repro.bench.programs import nw``)
+or use :func:`all_benchmarks` for the full registry.
+"""
+
+from typing import Dict
+
+
+def all_benchmarks() -> Dict[str, object]:
+    """Name -> benchmark module for the seven paper benchmarks."""
+    from repro.bench.programs import (
+        hotspot,
+        lbm,
+        locvolcalib,
+        lud,
+        nn,
+        nw,
+        optionpricing,
+    )
+
+    return {
+        "nw": nw,
+        "lud": lud,
+        "hotspot": hotspot,
+        "lbm": lbm,
+        "optionpricing": optionpricing,
+        "locvolcalib": locvolcalib,
+        "nn": nn,
+    }

@@ -1,0 +1,86 @@
+"""Safety checks for generalized LMAD slices and updates (paper III-B).
+
+The source language inserts *dynamic checks* for LMAD slices "whenever
+necessary to verify that all strides are non-zero, and that the LMAD
+dimensions do not overlap, meaning that the update is guaranteed to not
+introduce output dependences".  This module provides both halves:
+
+* :func:`static_update_safe` -- the compile-time sufficient condition
+  (via :func:`repro.lmad.overlap.lmad_injective`); when it succeeds the
+  dynamic check can be elided;
+* :func:`check_update_lmad` / :func:`check_slice_bounds` -- the run-time
+  checks the interpreter and executor fall back to.
+
+Checks follow the paper's theorem: pairwise-distinct points are guaranteed
+when, sorted by ascending stride, every stride exceeds the span of the
+dimensions below it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.lmad.lmad import Lmad
+from repro.lmad.overlap import lmad_injective
+from repro.symbolic import Prover
+
+
+class SliceCheckError(Exception):
+    """A dynamic LMAD slice/update check failed."""
+
+
+def static_update_safe(lmad: Lmad, prover: Optional[Prover] = None) -> bool:
+    """Compile-time sufficient condition: the update has distinct points."""
+    return lmad_injective(lmad, prover)
+
+
+def concrete_offsets(lmad: Lmad, env: Mapping[str, int]) -> np.ndarray:
+    """Flat offsets of a concrete LMAD, as an ndarray of its shape."""
+    inst = lmad.substitute(
+        {v: int(env[v]) for v in lmad.free_vars()}
+    )
+    shape = tuple(d.shape.as_int() for d in inst.dims)
+    offs = np.full(shape, int(inst.offset.as_int()), dtype=np.int64)
+    for axis, d in enumerate(inst.dims):
+        n, s = d.shape.as_int(), d.stride.as_int()
+        idx = [1] * len(shape)
+        idx[axis] = n
+        offs = offs + (np.arange(n, dtype=np.int64) * s).reshape(idx)
+    return offs
+
+
+def check_slice_bounds(
+    lmad: Lmad, size: int, env: Mapping[str, int], what: str = "slice"
+) -> np.ndarray:
+    """Dynamic bounds check; returns the offsets on success."""
+    offs = concrete_offsets(lmad, env)
+    if offs.size and (offs.min() < 0 or offs.max() >= size):
+        raise SliceCheckError(
+            f"{what} out of bounds: offsets {offs.min()}..{offs.max()} "
+            f"vs array size {size}"
+        )
+    return offs
+
+
+def check_update_lmad(
+    lmad: Lmad, size: int, env: Mapping[str, int]
+) -> np.ndarray:
+    """Full dynamic update check: bounds + non-zero strides + distinctness.
+
+    Returns the offsets so callers can reuse them for the actual write.
+    """
+    inst = lmad.substitute({v: int(env[v]) for v in lmad.free_vars()})
+    for d in inst.dims:
+        if d.stride.as_int() == 0 and (d.shape.as_int() or 0) > 1:
+            raise SliceCheckError(
+                f"update slice has zero stride in dimension {d}"
+            )
+    offs = check_slice_bounds(lmad, size, env, what="update slice")
+    flat = offs.reshape(-1)
+    if np.unique(flat).size != flat.size:
+        raise SliceCheckError(
+            "update slice has overlapping points (output dependences)"
+        )
+    return offs

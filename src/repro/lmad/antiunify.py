@@ -1,0 +1,82 @@
+"""Anti-unification (least general generalization) of index functions.
+
+When the two branches of an ``if`` return arrays living in different memory
+blocks with different layouts (paper section IV-C), the compiler computes
+the *least general generalization* of the two index functions: components
+that agree are kept, components that differ are replaced by fresh
+existential variables, and the branches return the concrete values of those
+variables alongside the array.
+
+Example (the paper's): lgg of row-major ``0 + {(n:m)(m:1)}`` and
+column-major ``0 + {(n:1)(m:n)}`` is ``0 + {(n:a)(m:b)}`` with the then
+branch binding ``(a,b) = (m,1)`` and the else branch ``(a,b) = (1,n)``.
+
+Anti-unification fails (returns ``None``) when the index functions have
+different numbers of constituent LMADs or different ranks; the memory
+introduction pass then inserts copies to normalize the branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lmad.ixfun import IndexFn
+from repro.lmad.lmad import Lmad, LmadDim
+from repro.symbolic import SymExpr
+
+
+@dataclass(frozen=True)
+class AntiUnifyResult:
+    """The generalized index function plus per-branch bindings.
+
+    ``bindings`` maps each fresh existential variable to the pair of
+    expressions it stands for in the (then, else) branches.
+    """
+
+    ixfn: IndexFn
+    bindings: Tuple[Tuple[str, SymExpr, SymExpr], ...]
+
+
+class _Generalizer:
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.memo: Dict[Tuple[SymExpr, SymExpr], SymExpr] = {}
+        self.bindings: List[Tuple[str, SymExpr, SymExpr]] = []
+
+    def expr(self, a: SymExpr, b: SymExpr) -> SymExpr:
+        if a == b:
+            return a
+        key = (a, b)
+        if key in self.memo:
+            return self.memo[key]
+        name = f"{self.prefix}{len(self.bindings)}"
+        var = SymExpr.var(name)
+        self.memo[key] = var
+        self.bindings.append((name, a, b))
+        return var
+
+
+def antiunify_ixfns(
+    f1: IndexFn, f2: IndexFn, prefix: str = "ext_"
+) -> Optional[AntiUnifyResult]:
+    """Least general generalization of two index functions.
+
+    The same pair of differing sub-expressions is generalized to the *same*
+    variable everywhere (this is what makes the result least general).
+    Returns ``None`` on structural mismatch.
+    """
+    if len(f1.lmads) != len(f2.lmads):
+        return None
+    gen = _Generalizer(prefix)
+    lmads: List[Lmad] = []
+    for l1, l2 in zip(f1.lmads, f2.lmads):
+        if l1.rank != l2.rank:
+            return None
+        offset = gen.expr(l1.offset, l2.offset)
+        dims = tuple(
+            LmadDim(gen.expr(d1.shape, d2.shape), gen.expr(d1.stride, d2.stride))
+            for d1, d2 in zip(l1.dims, l2.dims)
+        )
+        lmads.append(Lmad(offset, dims))
+    return AntiUnifyResult(IndexFn(tuple(lmads)), tuple(gen.bindings))

@@ -1,0 +1,673 @@
+"""Memory-IR executor: runs annotated programs on flat buffers.
+
+This is the reproduction's GPU.  Arrays are (memory block, concrete index
+function) pairs; every data movement -- explicit ``copy``/``concat``/
+``update`` statements and the implicit per-thread result write of a
+``map`` -- goes through :meth:`MemExecutor._copy_region`, which has exactly
+one optimization rule:
+
+    if the source already lives at the destination (same block, same
+    index function), the copy is a no-op.
+
+Short-circuiting only ever changes memory annotations, so this single rule
+is what turns the optimization into measured savings, in both executor
+modes:
+
+* ``mode="real"``  -- buffers are real NumPy arrays; results are
+  bit-compared against the reference interpreter by the test suite.
+* ``mode="dry"``   -- buffers are sizes only; ``map`` bodies execute once
+  (at a representative thread index) and their traffic is scaled by the
+  width.  This is how paper-scale datasets (up to 32768 x 32768) are
+  measured without allocating terabytes.
+
+Kernel accounting mirrors a GPU host program: each ``map`` statement
+execution is one kernel launch (a map inside a sequential loop launches
+per iteration); explicit copies are their own kernels; scalar host code is
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.lmad import IndexFn
+from repro.lmad.lmad import Lmad
+from repro.symbolic import SymExpr
+
+from repro.ir import ast as A
+from repro.ir.interp import Interpreter, InterpError, eval_sym
+from repro.ir.types import ArrayType, DTYPE_INFO, ScalarType
+from repro.mem.memir import MemBinding, binding_of, param_mem_name
+from repro.mem.stats import ExecStats, KernelStat
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """Runtime value of a memory-block binding (existential or concrete)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RuntimeArray:
+    """An array value at run time: block name + fully concrete index fn."""
+
+    mem: str
+    ixfn: IndexFn
+    dtype: str
+
+    @property
+    def itemsize(self) -> int:
+        return DTYPE_INFO[self.dtype][1]
+
+    def size(self) -> int:
+        n = self.ixfn.size().as_int()
+        assert n is not None
+        return n
+
+    def nbytes(self) -> int:
+        return self.size() * self.itemsize
+
+    def region(self, ixfn: IndexFn) -> "RuntimeArray":
+        return RuntimeArray(self.mem, ixfn, self.dtype)
+
+
+class MemExecutor:
+    """Execute one memory-annotated function."""
+
+    def __init__(
+        self,
+        fun: A.Fun,
+        mode: str = "real",
+        shared_memory_model: bool = False,
+        loop_sample: Optional[int] = None,
+    ):
+        if mode not in ("real", "dry"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.fun = fun
+        self.mode = mode
+        #: When True, arrays allocated inside kernels are treated as
+        #: GPU shared memory (free traffic).  The default models Futhark's
+        #: *expanded allocations*: per-thread arrays live in global memory,
+        #: which is what makes the mapnest implicit-copy elision profitable
+        #: (LBM / LocVolCalib in the paper).
+        self.shared_memory_model = shared_memory_model
+        #: In dry mode: sample at most this many iterations of sequential
+        #: loops *inside kernels* and extrapolate the traffic (per-thread
+        #: work is uniform or linearly varying in these benchmarks).  None
+        #: disables sampling (exact counts).
+        self.loop_sample = loop_sample
+        self.mem: Dict[str, object] = {}  # name -> ndarray (real) | int (dry)
+        self.stats = ExecStats()
+        self._kernel_stack: List[KernelStat] = []
+        self._alloc_counter = 0
+        # Blocks allocated inside a kernel are thread-local (the GPU's
+        # shared memory / registers): traffic to them is not DRAM traffic.
+        self._local_mems: set = set()
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+    def run(self, **inputs) -> Tuple[List[object], ExecStats]:
+        env: Dict[str, object] = {}
+        declared = {p.name for p in self.fun.params}
+        for k, v in inputs.items():
+            if k not in declared:
+                env[k] = v
+        for p in self.fun.params:
+            if isinstance(p.type, ArrayType):
+                self._bind_input_array(p, inputs, env)
+            else:
+                if p.name not in inputs:
+                    raise InterpError(f"missing input {p.name!r}")
+                env[p.name] = inputs[p.name]
+        values = self.run_block(self.fun.body, env)
+        return values, self.stats
+
+    def _bind_input_array(self, p: A.Param, inputs, env) -> None:
+        t = p.type
+        assert isinstance(t, ArrayType)
+        mem = param_mem_name(p.name)
+        if self.mode == "real":
+            if p.name not in inputs:
+                raise InterpError(f"missing input {p.name!r}")
+            arr = np.ascontiguousarray(
+                inputs[p.name], dtype=DTYPE_INFO[t.dtype][0]
+            )
+            # Unify symbolic shape vars with the concrete input shape.
+            for dim_expr, extent in zip(t.shape, arr.shape):
+                fv = sorted(dim_expr.free_vars())
+                if (
+                    len(fv) == 1
+                    and fv[0] not in env
+                    and dim_expr == SymExpr.var(fv[0])
+                ):
+                    env[fv[0]] = int(extent)
+            self.mem[mem] = arr.reshape(-1).copy()
+        else:
+            size = eval_sym(t.size(), env)
+            self.mem[mem] = size
+        ixfn = self._instantiate(IndexFn.row_major(t.shape), env)
+        env[p.name] = RuntimeArray(mem, ixfn, t.dtype)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _instantiate(self, ixfn: IndexFn, env: Mapping[str, object]) -> IndexFn:
+        subst = {}
+        for v in ixfn.free_vars():
+            if v not in env:
+                raise InterpError(f"unbound variable {v!r} in index function")
+            val = env[v]
+            if isinstance(val, np.generic):
+                val = val.item()
+            if not isinstance(val, int):
+                raise InterpError(f"index-function var {v!r} is not an int")
+            subst[v] = val
+        return ixfn.substitute(subst) if subst else ixfn
+
+    def _resolve_mem(self, name: str, env: Mapping[str, object]) -> str:
+        seen = set()
+        while name in env and isinstance(env[name], MemRef) and name not in seen:
+            seen.add(name)
+            name = env[name].name
+        if name not in self.mem:
+            raise InterpError(f"unknown memory block {name!r}")
+        return name
+
+    def _binding_value(
+        self, pe: A.PatElem, env: Mapping[str, object]
+    ) -> RuntimeArray:
+        b = binding_of(pe)
+        if b is None:
+            raise InterpError(f"array {pe.name} lacks a memory binding")
+        assert isinstance(pe.type, ArrayType)
+        return self._binding_to_value(b, pe.type.dtype, env)
+
+    def _binding_to_value(
+        self, b: MemBinding, dtype: str, env: Mapping[str, object]
+    ) -> RuntimeArray:
+        mem = self._resolve_mem(b.mem, env)
+        return RuntimeArray(mem, self._instantiate(b.ixfn, env), dtype)
+
+    def _offsets(self, arr: RuntimeArray) -> np.ndarray:
+        return arr.ixfn.gather_offsets({})
+
+    def _read(self, arr: RuntimeArray) -> np.ndarray:
+        buf = self.mem[arr.mem]
+        assert isinstance(buf, np.ndarray)
+        return buf[self._offsets(arr)]
+
+    def _write(self, arr: RuntimeArray, data) -> None:
+        buf = self.mem[arr.mem]
+        assert isinstance(buf, np.ndarray)
+        buf[self._offsets(arr)] = data
+
+    # ------------------------------------------------------------------
+    # Kernel accounting
+    # ------------------------------------------------------------------
+    def _kernel(self, stmt: A.Let, kind: str, label: str) -> KernelStat:
+        return self.stats.kernel(id(stmt), kind, label)
+
+    def _current_kernel(self) -> Optional[KernelStat]:
+        return self._kernel_stack[-1] if self._kernel_stack else None
+
+    def _count_read(self, nbytes: int) -> None:
+        ks = self._current_kernel()
+        if ks is not None:
+            ks.bytes_read += nbytes
+
+    def _count_write(self, nbytes: int) -> None:
+        ks = self._current_kernel()
+        if ks is not None:
+            ks.bytes_written += nbytes
+
+    def _count_flop(self, n: int = 1) -> None:
+        ks = self._current_kernel()
+        if ks is not None:
+            ks.flops += n
+
+    # ------------------------------------------------------------------
+    # The one copy rule
+    # ------------------------------------------------------------------
+    def _copy_region(
+        self,
+        src: RuntimeArray,
+        dst: RuntimeArray,
+        stmt: A.Let,
+        kind: str,
+    ) -> None:
+        if src.mem == dst.mem and src.ixfn == dst.ixfn:
+            self.stats.elided_copies += 1
+            self.stats.elided_bytes += src.nbytes() + dst.nbytes()
+            return
+        ks = self._current_kernel()
+        if ks is None:
+            ks = self._kernel(stmt, kind, f"{kind}:{'/'.join(stmt.names)}")
+            ks.launches += 1
+        if src.mem not in self._local_mems:
+            ks.bytes_read += src.nbytes()
+        if dst.mem not in self._local_mems:
+            ks.bytes_written += dst.nbytes()
+        if self.mode == "real":
+            offs = self._offsets(dst)
+            if offs.size:
+                data = self._read(src)
+                self._write(dst, data.reshape(offs.shape))
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def run_block(self, block: A.Block, env: Dict[str, object]) -> List[object]:
+        for stmt in block.stmts:
+            self.exec_stmt(stmt, env)
+        return [self._resolve_result(r, env) for r in block.result]
+
+    def _resolve_result(self, name: str, env: Dict[str, object]):
+        if name in env:
+            return env[name]
+        if name in self.mem:
+            return MemRef(name)
+        raise InterpError(f"unbound result {name!r}")
+
+    def exec_stmt(self, stmt: A.Let, env: Dict[str, object]) -> None:
+        exp = stmt.exp
+
+        if isinstance(exp, A.Alloc):
+            size = eval_sym(exp.size, env)
+            name = stmt.names[0]
+            # Each execution creates a *fresh* block: an alloc inside a loop
+            # body must not alias the previous iteration's block, or
+            # double-buffered loops would read their own writes.
+            self._alloc_counter += 1
+            unique = f"{name}@{self._alloc_counter}"
+            if self.mode == "real":
+                self.mem[unique] = np.zeros(size, dtype=DTYPE_INFO[exp.dtype][0])
+            else:
+                self.mem[unique] = size
+            if self._kernel_stack and self.shared_memory_model:
+                self._local_mems.add(unique)
+            env[name] = MemRef(unique)
+            self.stats.alloc_count += 1
+            self.stats.alloc_bytes += size * DTYPE_INFO[exp.dtype][1]
+            return
+
+        if isinstance(exp, (A.Lit, A.ScalarE, A.BinOp, A.UnOp)):
+            env[stmt.names[0]] = self._scalar_exp(exp, env)
+            return
+
+        if isinstance(exp, A.VarRef):
+            pe = stmt.pattern[0]
+            if pe.is_array():
+                env[pe.name] = self._binding_value(pe, env)
+            else:
+                env[pe.name] = env[exp.name]
+            return
+
+        if isinstance(exp, (A.SliceT, A.LmadSlice, A.Rearrange, A.Reshape, A.Reverse)):
+            # Pure change of layout: the annotation is authoritative (it may
+            # have been rebased by short-circuiting); no data moves.
+            env[stmt.names[0]] = self._binding_value(stmt.pattern[0], env)
+            return
+
+        if isinstance(exp, (A.Iota, A.Replicate, A.Scratch)):
+            dest = self._binding_value(stmt.pattern[0], env)
+            ks = self._current_kernel()
+            if ks is None:
+                ks = self._kernel(stmt, "fill", f"fill:{stmt.names[0]}")
+                if not isinstance(exp, A.Scratch):
+                    ks.launches += 1
+            if not isinstance(exp, A.Scratch):
+                if dest.mem not in self._local_mems:
+                    ks.bytes_written += dest.nbytes()
+                if self.mode == "real":
+                    if isinstance(exp, A.Iota):
+                        n = eval_sym(exp.n, env)
+                        self._write(dest, np.arange(n, dtype=DTYPE_INFO[exp.dtype][0]))
+                    else:
+                        self._write(
+                            dest,
+                            np.full(
+                                self._offsets(dest).shape,
+                                self._scalar_operand(exp.value, env),
+                            ),
+                        )
+            # Scratch is *uninitialized* memory: it must not write anything.
+            # (Zero-filling a scratch that short-circuiting re-homed into a
+            # live destination region would clobber real data; fresh alloc
+            # buffers are already zeroed, matching the reference
+            # interpreter's deterministic "uninitialized" contents.)
+            env[stmt.names[0]] = dest
+            return
+
+        if isinstance(exp, A.Copy):
+            src = env[exp.src]
+            assert isinstance(src, RuntimeArray)
+            dest = self._binding_value(stmt.pattern[0], env)
+            self._copy_region(src, dest, stmt, "copy")
+            env[stmt.names[0]] = dest
+            return
+
+        if isinstance(exp, A.Concat):
+            dest = self._binding_value(stmt.pattern[0], env)
+            offset = 0
+            for s in exp.srcs:
+                src = env[s]
+                assert isinstance(src, RuntimeArray)
+                rows = src.ixfn.shape[0].as_int()
+                assert rows is not None
+                region_ixfn = dest.ixfn.slice_triplets(
+                    [(offset, rows, 1)]
+                    + [
+                        (0, d, 1)
+                        for d in [
+                            s_.as_int() for s_ in dest.ixfn.shape[1:]
+                        ]
+                    ]
+                )
+                self._copy_region(src, dest.region(region_ixfn), stmt, "concat")
+                offset += rows
+            env[stmt.names[0]] = dest
+            return
+
+        if isinstance(exp, A.Index):
+            src = env[exp.src]
+            assert isinstance(src, RuntimeArray)
+            idx = [eval_sym(i, env) for i in exp.indices]
+            if src.mem not in self._local_mems:
+                self._count_read(src.itemsize)
+            if self.mode == "real":
+                off = src.ixfn.apply_concrete(idx, {})
+                buf = self.mem[src.mem]
+                env[stmt.names[0]] = buf[off]
+            else:
+                env[stmt.names[0]] = _dummy(src.dtype)
+            return
+
+        if isinstance(exp, A.Update):
+            self._exec_update(stmt, exp, env)
+            return
+
+        if isinstance(exp, A.Map):
+            self._exec_map(stmt, exp, env)
+            return
+
+        if isinstance(exp, A.Loop):
+            self._exec_loop(stmt, exp, env)
+            return
+
+        if isinstance(exp, A.If):
+            cond = self._scalar_operand(exp.cond, env)
+            block = exp.then_block if cond else exp.else_block
+            vals = self.run_block(block, dict(env))
+            self._bind_compound_results(stmt, vals, env)
+            return
+
+        if isinstance(exp, (A.Reduce, A.ArgMin)):
+            src = env[exp.src]
+            assert isinstance(src, RuntimeArray)
+            ks = self._current_kernel()
+            if ks is None:
+                ks = self._kernel(stmt, "reduce", f"reduce:{stmt.names[0]}")
+                ks.launches += 1
+            if src.mem not in self._local_mems:
+                ks.bytes_read += src.nbytes()
+                ks.bytes_written += src.itemsize
+            ks.flops += src.size()
+            if self.mode == "real":
+                data = self._read(src)
+                if isinstance(exp, A.ArgMin):
+                    i = int(np.argmin(data))
+                    env[stmt.names[0]] = data.reshape(-1)[i]
+                    env[stmt.names[1]] = i
+                elif exp.op == "+":
+                    env[stmt.names[0]] = data.sum(dtype=data.dtype)
+                elif exp.op == "min":
+                    env[stmt.names[0]] = data.min()
+                else:
+                    env[stmt.names[0]] = data.max()
+            else:
+                env[stmt.names[0]] = _dummy(src.dtype)
+                if isinstance(exp, A.ArgMin):
+                    env[stmt.names[1]] = 0
+            return
+
+        raise InterpError(f"unknown expression {type(exp).__name__}")
+
+    # ------------------------------------------------------------------
+    def _exec_update(self, stmt: A.Let, exp: A.Update, env) -> None:
+        result = self._binding_value(stmt.pattern[0], env)
+        spec = exp.spec
+        if isinstance(spec, A.PointSpec):
+            idx = [eval_sym(i, env) for i in spec.indices]
+            is_global = result.mem not in self._local_mems
+            ks = self._current_kernel()
+            if ks is None:
+                ks = self._kernel(stmt, "update", f"update:{stmt.names[0]}")
+                ks.launches += 1
+            if is_global:
+                ks.bytes_written += result.itemsize
+            if self.mode == "real":
+                off = result.ixfn.apply_concrete(idx, {})
+                buf = self.mem[result.mem]
+                buf[off] = self._scalar_operand(exp.value, env)
+            env[stmt.names[0]] = result
+            return
+        if isinstance(spec, A.TripletSpec):
+            trips = [
+                (eval_sym(a, env), eval_sym(b, env), eval_sym(c, env))
+                for a, b, c in spec.triplets
+            ]
+            region = result.region(result.ixfn.slice_triplets(trips))
+        else:
+            assert isinstance(spec, A.LmadSpec)
+            inst = spec.lmad.substitute(
+                {
+                    v: env[v] if not isinstance(env[v], np.generic) else env[v].item()
+                    for v in spec.lmad.free_vars()
+                }
+            )
+            region = result.region(result.ixfn.lmad_slice(inst))
+        value = env[exp.value] if isinstance(exp.value, str) else None
+        if not isinstance(value, RuntimeArray):
+            raise InterpError("slice update value must be an array variable")
+        self._copy_region(value, region, stmt, "update")
+        env[stmt.names[0]] = result
+
+    # ------------------------------------------------------------------
+    def _exec_map(self, stmt: A.Let, exp: A.Map, env) -> None:
+        width = eval_sym(exp.width, env)
+        dests = [
+            self._binding_value(pe, env) if pe.is_array() else None
+            for pe in stmt.pattern
+        ]
+        # A map nested inside another map is part of the same GPU kernel
+        # (a multi-dimensional grid), not a separate launch.
+        nested = bool(self._kernel_stack)
+        ks = self._kernel(stmt, "map", f"map:{'/'.join(stmt.names)}")
+        if not nested:
+            ks.launches += 1
+
+        def run_thread(i: int) -> None:
+            child = dict(env)
+            child[exp.lam.params[0]] = i
+            vals = self.run_block(exp.lam.body, child)
+            for dest, val in zip(dests, vals):
+                if dest is None:
+                    continue
+                region = dest.region(dest.ixfn.fix_dim(0, i))
+                if isinstance(val, RuntimeArray):
+                    self._copy_region(val, region, stmt, "map")
+                else:
+                    self._count_write(dest.itemsize)
+                    if self.mode == "real":
+                        buf = self.mem[dest.mem]
+                        off = region.ixfn.apply_concrete(
+                            [0] * region.ixfn.rank, {}
+                        ) if region.ixfn.rank else region.ixfn.apply_concrete([], {})
+                        buf[off] = val
+
+        self._kernel_stack.append(ks)
+        try:
+            if self.mode == "real":
+                for i in range(width):
+                    run_thread(i)
+            else:
+                # Dry mode: one representative thread, traffic scaled.
+                if width > 0:
+                    outer_stats = self.stats
+                    sub = ExecStats()
+                    self.stats = sub
+                    sub_ks = sub.kernel(id(stmt), "map", ks.label)
+                    self._kernel_stack.append(sub_ks)
+                    try:
+                        run_thread(width // 2)
+                    finally:
+                        self._kernel_stack.pop()
+                        self.stats = outer_stats
+                    self.stats.merge_scaled(sub, width)
+        finally:
+            self._kernel_stack.pop()
+
+        for pe, dest in zip(stmt.pattern, dests):
+            env[pe.name] = dest
+
+    # ------------------------------------------------------------------
+    def _exec_loop(self, stmt: A.Let, exp: A.Loop, env) -> None:
+        count = eval_sym(exp.count, env)
+        state = [env[init] for _, init in exp.carried]
+        param_bindings: Dict[str, MemBinding] = getattr(
+            exp.body, "param_bindings", {}
+        )
+        iterations = range(count)
+        scale = 1.0
+        if (
+            self.mode == "dry"
+            and self.loop_sample is not None
+            and self._kernel_stack
+            and count > self.loop_sample
+        ):
+            # Evenly spread samples give the right mean for uniform and
+            # linearly-varying (triangular) per-iteration work.
+            step = count / self.loop_sample
+            iterations = [int(step * (k + 0.5)) for k in range(self.loop_sample)]
+            scale = count / len(iterations)
+        if scale != 1.0:
+            # Counters flow through BOTH self.stats and the innermost
+            # kernel object, so the sub-run swaps the stats AND pushes a
+            # proxy kernel (same registry key) for correct attribution.
+            outer_stats = self.stats
+            cur = self._current_kernel()
+            assert cur is not None and cur.key is not None
+            sub = ExecStats()
+            self.stats = sub
+            proxy = sub.kernel(cur.key[0], cur.key[1], cur.label)
+            self._kernel_stack.append(proxy)
+            try:
+                self._run_loop_iterations(
+                    iterations, stmt, exp, env, state, param_bindings
+                )
+            finally:
+                self._kernel_stack.pop()
+                self.stats = outer_stats
+                self.stats.merge_scaled(sub, scale)
+        else:
+            self._run_loop_iterations(
+                iterations, stmt, exp, env, state, param_bindings
+            )
+        self._bind_compound_results(stmt, state, env)
+
+    def _run_loop_iterations(
+        self, iterations, stmt, exp, env, state, param_bindings
+    ) -> None:
+        for it in iterations:
+            child = dict(env)
+            child[exp.index] = it
+            for (prm, _), val in zip(exp.carried, state):
+                if isinstance(prm.type, ArrayType):
+                    assert isinstance(val, RuntimeArray)
+                    b = param_bindings.get(prm.name)
+                    if b is not None and b.mem not in self.mem:
+                        child[b.mem] = MemRef(val.mem)
+                    if b is not None:
+                        child[prm.name] = self._binding_to_value(
+                            b, prm.type.dtype, child
+                        )
+                    else:
+                        child[prm.name] = val
+                else:
+                    child[prm.name] = val
+            new_state = self.run_block(exp.body, child)
+            state[:] = new_state
+
+    # ------------------------------------------------------------------
+    def _bind_compound_results(self, stmt: A.Let, vals: List[object], env) -> None:
+        """Bind an if/loop's results, including existential mem/scalars.
+
+        Pattern layout: original results first, then appended existential
+        pattern elements aligned with appended block results.
+        """
+        # First pass: non-array results (scalars, MemRefs for existentials).
+        for pe, val in zip(stmt.pattern, vals):
+            if not pe.is_array():
+                env[pe.name] = val
+        # Second pass: arrays, resolved through the now-bound existentials.
+        for pe, val in zip(stmt.pattern, vals):
+            if pe.is_array():
+                if pe.mem is not None:
+                    b = binding_of(pe)
+                    if b.mem not in self.mem and b.mem not in env:
+                        # Unopt pipeline: existential result memory binds to
+                        # wherever the branch/loop actually left the value.
+                        assert isinstance(val, RuntimeArray)
+                        env[b.mem] = MemRef(val.mem)
+                    env[pe.name] = self._binding_value(pe, env)
+                else:
+                    env[pe.name] = val
+
+    # ------------------------------------------------------------------
+    # Scalars
+    # ------------------------------------------------------------------
+    def _scalar_operand(self, op: A.Operand, env):
+        if isinstance(op, str):
+            return env[op]
+        if isinstance(op, SymExpr):
+            return eval_sym(op, env)
+        return op
+
+    def _scalar_exp(self, exp: A.Exp, env):
+        if isinstance(exp, A.Lit):
+            return np.dtype(DTYPE_INFO[exp.dtype][0]).type(exp.value)
+        if isinstance(exp, A.ScalarE):
+            return eval_sym(exp.expr, env)
+        if isinstance(exp, A.BinOp):
+            self._count_flop()
+            return Interpreter._binop(
+                exp.op,
+                self._scalar_operand(exp.x, env),
+                self._scalar_operand(exp.y, env),
+            )
+        assert isinstance(exp, A.UnOp)
+        self._count_flop()
+        return Interpreter._unop(exp.op, self._scalar_operand(exp.x, env))
+
+
+def run_mem_fun(fun: A.Fun, mode: str = "real", **inputs):
+    """One-shot convenience for executing a memory-annotated function."""
+    return MemExecutor(fun, mode=mode).run(**inputs)
+
+
+def _dummy(dtype: str):
+    """Placeholder value for dry-mode reads (data never matters there).
+
+    Floats use 1.0 so dummy divisions don't raise spurious 0/0 warnings;
+    integers use 0 so dummy indices stay in bounds.
+    """
+    if dtype == "bool":
+        return False
+    if dtype == "i64":
+        return 0
+    return np.dtype(DTYPE_INFO[dtype][0]).type(1)

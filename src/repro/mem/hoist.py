@@ -1,0 +1,100 @@
+"""Allocation hoisting and dead-allocation elimination.
+
+Short-circuiting's property (2) requires the destination memory block to be
+in scope (already allocated) at the definition point of the candidate's
+fresh array (paper section V).  This pass hoists each ``alloc`` statement
+as early in its block as its size expression allows -- i.e. just after the
+last statement defining one of the size's free variables.
+
+Hoisting never crosses block boundaries: moving an allocation out of a
+``loop`` body would merge per-iteration buffers, which is unsound for
+double-buffered loops (each iteration must write a block distinct from the
+one the carried value still occupies).
+
+``remove_dead_allocations`` drops ``alloc`` statements whose block is no
+longer referenced by any memory binding -- the usual cleanup after
+short-circuiting re-homes arrays into their destination memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir import ast as A
+from repro.mem.memir import binding_of, iter_stmts
+
+
+def hoist_allocations(fun: A.Fun) -> int:
+    """Hoist allocs within their blocks; returns how many statements moved."""
+    moved = 0
+
+    def process(block: A.Block, outer_defined: Set[str]) -> None:
+        nonlocal moved
+        defined_at: List[Set[str]] = []
+        defined: Set[str] = set(outer_defined)
+        for stmt in block.stmts:
+            defined_at.append(set(defined))
+            defined |= set(stmt.names)
+            for blk in A.sub_blocks(stmt.exp):
+                bound = set(stmt.names)
+                if isinstance(stmt.exp, A.Loop):
+                    bound |= {p.name for p, _ in stmt.exp.carried}
+                    bound.add(stmt.exp.index)
+                if isinstance(stmt.exp, A.Map):
+                    bound |= set(stmt.exp.lam.params)
+                process(blk, defined | bound)
+
+        new_order: List[A.Let] = []
+        for idx, stmt in enumerate(block.stmts):
+            if not isinstance(stmt.exp, A.Alloc):
+                new_order.append(stmt)
+                continue
+            needed = stmt.exp.size.free_vars()
+            # Earliest position where all size variables are defined.
+            pos = 0
+            for j in range(len(new_order), 0, -1):
+                prior = new_order[j - 1]
+                if needed & set(prior.names):
+                    pos = j
+                    break
+            if pos < len(new_order):
+                moved += 1
+            new_order.insert(pos, stmt)
+        block.stmts = new_order
+
+    process(fun.body, {p.name for p in fun.params})
+    return moved
+
+
+def remove_dead_allocations(fun: A.Fun) -> int:
+    """Drop allocs whose memory block no binding references; returns count."""
+    live: Set[str] = set()
+    for stmt in iter_stmts(fun.body):
+        for pe in stmt.pattern:
+            b = binding_of(pe) if pe.mem is not None else None
+            if b is not None:
+                live.add(b.mem)
+        if isinstance(stmt.exp, A.Loop):
+            extra = getattr(stmt.exp.body, "param_bindings", None)
+            if extra:
+                live |= {b.mem for b in extra.values()}
+        # Existential memory flows through block results by name.
+        for blk in A.sub_blocks(stmt.exp):
+            live |= set(blk.result)
+
+    removed = 0
+
+    def process(block: A.Block) -> None:
+        nonlocal removed
+        kept = []
+        for stmt in block.stmts:
+            if isinstance(stmt.exp, A.Alloc) and stmt.names[0] not in live:
+                removed += 1
+                continue
+            for blk in A.sub_blocks(stmt.exp):
+                process(blk)
+            kept.append(stmt)
+        block.stmts = kept
+
+    process(fun.body)
+    return removed

@@ -1,0 +1,91 @@
+"""Memory bindings: the add-on that ties arrays to memory blocks.
+
+A :class:`MemBinding` pairs the name of a memory block (bound by an
+``alloc`` statement, a function parameter's implicit block, or an
+existential binding returned from ``if``/``loop``) with the
+:class:`repro.lmad.IndexFn` describing where each element lives in that
+block.
+
+Deleting every binding recovers the original functional program -- no
+semantic content lives here (paper section I).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lmad import IndexFn
+from repro.ir import ast as A
+from repro.ir.types import ArrayType, ScalarType
+
+#: Type used for memory-block pattern elements.
+MEM_TYPE = ScalarType("i64")
+
+
+@dataclass(frozen=True)
+class MemBinding:
+    """``array @ mem -> ixfn``: where an array's elements live."""
+
+    mem: str
+    ixfn: IndexFn
+
+    def __str__(self) -> str:
+        return f"{self.mem} -> {self.ixfn}"
+
+    def with_ixfn(self, ixfn: IndexFn) -> "MemBinding":
+        return MemBinding(self.mem, ixfn)
+
+
+def param_mem_name(param: str) -> str:
+    """Memory block name for an array function parameter."""
+    return f"{param}_mem"
+
+
+def clone_fun(fun: A.Fun) -> A.Fun:
+    """Deep copy of a function so passes can annotate without aliasing."""
+    return copy.deepcopy(fun)
+
+
+def binding_of(pat_elem: A.PatElem) -> Optional[MemBinding]:
+    b = pat_elem.mem
+    if b is None:
+        return None
+    if not isinstance(b, MemBinding):
+        raise TypeError(f"pattern {pat_elem.name} has non-MemBinding: {b!r}")
+    return b
+
+
+def iter_stmts(block: A.Block) -> Iterator[A.Let]:
+    """All statements of a block, including nested ones, preorder."""
+    for stmt in block.stmts:
+        yield stmt
+        for blk in A.sub_blocks(stmt.exp):
+            yield from iter_stmts(blk)
+
+
+def array_bindings(fun: A.Fun) -> Dict[str, MemBinding]:
+    """Map from array variable name to its memory binding (post-introduce).
+
+    Function parameters are included with their implicit bindings.
+    """
+    out: Dict[str, MemBinding] = {}
+    for p in fun.params:
+        if isinstance(p.type, ArrayType):
+            out[p.name] = MemBinding(
+                param_mem_name(p.name), IndexFn.row_major(p.type.shape)
+            )
+    for stmt in iter_stmts(fun.body):
+        for pe in stmt.pattern:
+            if pe.is_array() and pe.mem is not None:
+                out[pe.name] = binding_of(pe)
+        if isinstance(stmt.exp, A.Loop):
+            for prm, _ in stmt.exp.carried:
+                if isinstance(prm.type, ArrayType):
+                    # Loop params carry bindings via a side table on the
+                    # Loop's body block (set by the introduce pass).
+                    extra = getattr(stmt.exp.body, "param_bindings", None)
+                    if extra and prm.name in extra:
+                        out[prm.name] = extra[prm.name]
+    return out

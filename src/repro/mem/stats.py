@@ -1,0 +1,124 @@
+"""Execution statistics: the raw material of the simulated-GPU cost model.
+
+The memory-IR executor records, per *kernel* (a ``map`` launch, an explicit
+``copy``/``concat``/``update`` data movement, or a ``reduce``):
+
+* bytes read from and written to memory blocks,
+* scalar floating-point operations,
+* launch counts (a map inside a sequential loop launches once per
+  iteration, exactly like a kernel inside a host loop on a real GPU).
+
+Copies whose source already lives at the destination (the result of
+short-circuiting) are tallied as *elided* instead -- the measured
+difference between the unoptimized and optimized pipelines is precisely
+the paper's "Opt. Impact" column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class KernelStat:
+    """Aggregated statistics for one static kernel site."""
+
+    kind: str  # "map" | "copy" | "update" | "concat" | "reduce" | "fill"
+    label: str
+    #: (site, kind) registry key, set by ExecStats.kernel.
+    key: Optional[Tuple[int, str]] = None
+    launches: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    flops: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def merge_scaled(self, other: "KernelStat", factor: float) -> None:
+        self.launches += other.launches  # launches do not scale with threads
+        self.bytes_read += int(other.bytes_read * factor)
+        self.bytes_written += int(other.bytes_written * factor)
+        self.flops += int(other.flops * factor)
+
+
+@dataclass
+class ExecStats:
+    """Whole-run statistics."""
+
+    kernels: Dict[Tuple[int, str], KernelStat] = field(default_factory=dict)
+    elided_copies: int = 0
+    elided_bytes: int = 0
+    alloc_bytes: int = 0
+    alloc_count: int = 0
+
+    # ------------------------------------------------------------------
+    def kernel(self, site: int, kind: str, label: str) -> KernelStat:
+        key = (site, kind)
+        ks = self.kernels.get(key)
+        if ks is None:
+            ks = KernelStat(kind, label)
+            ks.key = key
+            self.kernels[key] = ks
+        return ks
+
+    def merge_scaled(self, other: "ExecStats", factor: float) -> None:
+        """Fold in a sub-run's stats, scaling data volume by ``factor``.
+
+        Used by the dry-run executor: a map body is executed once and its
+        traffic multiplied by the map's width (or a sampled loop body by
+        the trip-count/samples ratio).
+        """
+        for key, ks in other.kernels.items():
+            mine = self.kernels.get(key)
+            if mine is None:
+                mine = KernelStat(ks.kind, ks.label)
+                self.kernels[key] = mine
+            mine.merge_scaled(ks, factor)
+        self.elided_copies += int(other.elided_copies * factor)
+        self.elided_bytes += int(other.elided_bytes * factor)
+        self.alloc_bytes += int(other.alloc_bytes * factor)
+        self.alloc_count += int(other.alloc_count * factor)
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_read(self) -> int:
+        return sum(k.bytes_read for k in self.kernels.values())
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(k.bytes_written for k in self.kernels.values())
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def flops(self) -> int:
+        return sum(k.flops for k in self.kernels.values())
+
+    @property
+    def launches(self) -> int:
+        return sum(k.launches for k in self.kernels.values())
+
+    def copy_traffic(self) -> int:
+        """Bytes moved by pure data-movement kernels (copy/update/concat)."""
+        return sum(
+            k.bytes_total
+            for k in self.kernels.values()
+            if k.kind in ("copy", "update", "concat")
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"kernel launches : {self.launches}",
+            f"bytes read      : {self.bytes_read:,}",
+            f"bytes written   : {self.bytes_written:,}",
+            f"flops           : {self.flops:,}",
+            f"copy traffic    : {self.copy_traffic():,} bytes",
+            f"elided copies   : {self.elided_copies} ({self.elided_bytes:,} bytes)",
+            f"allocations     : {self.alloc_count} ({self.alloc_bytes:,} bytes)",
+        ]
+        return "\n".join(lines)

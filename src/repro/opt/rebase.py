@@ -1,0 +1,83 @@
+"""Rebasing index functions through change-of-layout chains (section V-A).
+
+Two directions arise while walking from a circuit point up to the fresh
+array's creation:
+
+* **forward** (``cs = op(bs)`` where ``bs`` is the candidate): the rebased
+  index function of ``cs`` is simply ``op`` applied to the candidate's
+  rebased function -- always possible.
+* **backward** (``bs = op(as)`` where ``bs`` is the candidate and ``as`` is
+  the fresh array): we must solve ``F = op . ixfn_as`` for ``ixfn_as``,
+  which requires ``op`` to be *invertible* -- permutations, reversals and
+  reshapes are; slices are not (paper: a dense slice cannot hold the 2n
+  elements of its every-other-element source).
+
+Index-function *translation* substitutes scalar definitions (the compiler's
+symbol table of simple arithmetic bindings) to a fixpoint so that a rebased
+index function only references variables in scope at the definition point
+it is being moved to (paper section V-A-b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set
+
+from repro.lmad import IndexFn
+from repro.symbolic import Prover, SymExpr
+
+from repro.ir import ast as A
+
+
+def inverse_rebase(
+    exp: A.Exp, rebased: IndexFn, src_shape, prover: Prover
+) -> Optional[IndexFn]:
+    """Given ``candidate = exp(src)`` and the candidate's rebased index
+    function, compute the index function to assign to ``src``.
+
+    Returns ``None`` for non-invertible operations (slices), in which case
+    the whole candidate fails (conservatively keeping the copy).
+    """
+    if isinstance(exp, A.VarRef):
+        return rebased
+    if isinstance(exp, A.Rearrange):
+        inv = [0] * len(exp.perm)
+        for new_dim, src_dim in enumerate(exp.perm):
+            inv[src_dim] = new_dim
+        return rebased.permute(inv)
+    if isinstance(exp, A.Reverse):
+        return rebased.reverse(exp.dim)
+    if isinstance(exp, A.Reshape):
+        # Reshape is a bijective row-major re-indexing; its inverse is the
+        # reshape back to the source shape.
+        return rebased.reshape(list(src_shape), prover)
+    # SliceT / LmadSlice: not surjective, not invertible.
+    return None
+
+
+def translate_ixfn(
+    ixfn: IndexFn,
+    available: Set[str],
+    symtab: Mapping[str, SymExpr],
+    max_rounds: int = 16,
+) -> Optional[IndexFn]:
+    """Rewrite ``ixfn`` to only use variables in ``available``.
+
+    Substitutes symbol-table definitions (bindings of integral variables to
+    simple arithmetic, recorded from ``ScalarE`` statements) to a fixpoint.
+    Returns ``None`` when some variable cannot be eliminated -- the
+    candidate then fails (it would reference a variable defined after the
+    point the index function is being installed at).
+    """
+    current = ixfn
+    for _ in range(max_rounds):
+        missing = {v for v in current.free_vars() if v not in available}
+        if not missing:
+            return current
+        subst: Dict[str, SymExpr] = {}
+        for v in missing:
+            if v in symtab:
+                subst[v] = symtab[v]
+        if not subst:
+            return None
+        current = current.substitute(subst)
+    return None

@@ -1,0 +1,57 @@
+"""Tests for the table harness itself."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchReport,
+    Row,
+    compile_both,
+    measure_dataset,
+    row_for,
+    run_table,
+    validate,
+)
+from repro.bench.programs import hotspot, nw
+from repro.gpu import A100, MI100
+
+
+@pytest.fixture(scope="module")
+def nw_compiled():
+    return compile_both(nw)
+
+
+class TestMeasurement:
+    def test_unopt_slower_than_opt(self, nw_compiled):
+        stats = measure_dataset(nw, (8, 8), nw_compiled)
+        row = row_for(nw, "t", (8, 8), A100, stats)
+        assert row.unopt_ms > row.opt_ms
+        assert row.impact == pytest.approx(row.unopt_ms / row.opt_ms)
+
+    def test_mi100_slower_than_a100(self, nw_compiled):
+        stats = measure_dataset(nw, (8, 8), nw_compiled)
+        a = row_for(nw, "t", (8, 8), A100, stats)
+        m = row_for(nw, "t", (8, 8), MI100, stats)
+        assert m.opt_ms > a.opt_ms
+
+    def test_loop_sampling_matches_exact(self, nw_compiled):
+        exact = measure_dataset(nw, (16, 8), nw_compiled)
+        sampled = measure_dataset(nw, (16, 8), nw_compiled, loop_sample=4)
+        assert exact[1].bytes_total == sampled[1].bytes_total
+        assert exact[0].launches == sampled[0].launches
+
+    def test_validate_runs_both_pipelines(self, nw_compiled):
+        assert validate(nw, "tiny", nw_compiled)
+
+
+class TestReport:
+    def test_run_table_structure(self):
+        rep = run_table(hotspot, datasets={"32": (32, 2)}, do_validate=False)
+        assert isinstance(rep, BenchReport)
+        assert len(rep.rows) == 2  # one per device
+        assert {r.device for r in rep.rows} == {"A100", "MI100"}
+        assert rep.sc_committed == 7
+
+    def test_render_contains_all_columns(self):
+        rep = BenchReport("x", rows=[Row("A100", "d", 1.0, 0.5, 1.0, 2.0)])
+        text = rep.render()
+        assert "0.50x" in text and "2.00x" in text and "1.00ms" in text

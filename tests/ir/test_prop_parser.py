@@ -1,0 +1,30 @@
+"""Property test: the parser round-trips randomly generated programs.
+
+Reuses the random-program grammar from the semantics property suite: for
+every generated program, pretty-printing, parsing the text back and
+interpreting must produce the same values -- i.e. the surface syntax is a
+faithful serialization of the IR.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.ir import run_fun
+from repro.ir.parser import parse_fun
+from repro.ir.pretty import pretty_fun
+
+from tests.opt.test_prop_semantics import N, programs
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_parse_pretty_roundtrip_semantics(fun):
+    text = pretty_fun(fun)
+    parsed = parse_fun(text)
+    # Idempotence of the round trip.
+    assert pretty_fun(parsed) == pretty_fun(parse_fun(pretty_fun(parsed)))
+    # Semantic equivalence.
+    x = np.arange(N, dtype=np.float32) - 2
+    (a,) = run_fun(fun, n=N, x=x.copy())
+    (b,) = run_fun(parsed, n=N, x=x.copy())
+    assert np.allclose(a, b)

@@ -1,0 +1,82 @@
+"""Tests for the LMAD slice safety checks (paper section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.ir.slicecheck import (
+    SliceCheckError,
+    check_slice_bounds,
+    check_update_lmad,
+    concrete_offsets,
+    static_update_safe,
+)
+from repro.lmad import lmad
+from repro.symbolic import Context, Prover, Var
+
+n = Var("n")
+
+
+class TestStatic:
+    def test_diagonal_statically_safe(self):
+        p = Prover(Context().assume_lower("n", 1))
+        assert static_update_safe(lmad(0, [(n, n + 1)]), p)
+
+    def test_zero_stride_statically_unsafe(self):
+        assert not static_update_safe(lmad(0, [(4, 0)]))
+
+    def test_nw_write_set_statically_safe(self):
+        q, b, i = Var("q"), Var("b"), Var("i")
+        ctx = (
+            Context()
+            .define("n", q * b + 1)
+            .assume_lower("q", 2)
+            .assume_lower("b", 2)
+            .assume_range("i", 0, q - 1)
+        )
+        w = lmad(i * b + n + 1, [(i + 1, n * b - b), (b, n), (b, 1)])
+        assert static_update_safe(w, Prover(ctx))
+
+
+class TestDynamic:
+    def test_offsets_shape(self):
+        offs = concrete_offsets(lmad(1, [(3, 4)]), {})
+        assert list(offs) == [1, 5, 9]
+
+    def test_bounds_ok(self):
+        offs = check_slice_bounds(lmad(0, [(4, 1)]), 4, {})
+        assert offs.max() == 3
+
+    def test_bounds_violation(self):
+        with pytest.raises(SliceCheckError):
+            check_slice_bounds(lmad(2, [(4, 1)]), 4, {})
+
+    def test_update_distinct_points_ok(self):
+        check_update_lmad(lmad(0, [(3, 5)]), 16, {})
+
+    def test_update_overlapping_points_rejected(self):
+        with pytest.raises(SliceCheckError):
+            check_update_lmad(lmad(0, [(3, 2), (4, 1)]), 16, {})
+
+    def test_update_zero_stride_rejected(self):
+        with pytest.raises(SliceCheckError):
+            check_update_lmad(lmad(0, [(4, 0)]), 16, {})
+
+    def test_symbolic_env(self):
+        offs = check_update_lmad(lmad(0, [(n, n + 1)]), 16, {"n": 4})
+        assert list(offs) == [0, 5, 10, 15]
+
+    def test_static_implies_dynamic(self):
+        """Property link: statically-safe concrete LMADs always pass the
+        dynamic check."""
+        rng = np.random.RandomState(0)
+        for _ in range(50):
+            dims = [
+                (int(rng.randint(1, 5)), int(rng.randint(-6, 7)))
+                for _ in range(rng.randint(1, 3))
+            ]
+            l = lmad(int(rng.randint(0, 10)), dims)
+            offsets = l.enumerate_offsets({})
+            if min(offsets) < 0:
+                continue  # injectivity says distinct, not in-bounds
+            if static_update_safe(l):
+                check_update_lmad(l, max(offsets) + 1, {})  # must not raise

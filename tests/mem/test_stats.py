@@ -1,0 +1,60 @@
+"""Tests for execution statistics and their scaling arithmetic."""
+
+from repro.mem.stats import ExecStats, KernelStat
+
+
+class TestKernelStat:
+    def test_bytes_total(self):
+        k = KernelStat("map", "k", None, 1, 10, 20, 5)
+        assert k.bytes_total == 30
+
+    def test_merge_scaled_preserves_launches(self):
+        a = KernelStat("map", "k", None, 2, 10, 10, 10)
+        b = KernelStat("map", "k", None, 3, 100, 100, 100)
+        a.merge_scaled(b, 4)
+        assert a.launches == 5  # launches never scale with threads
+        assert a.bytes_read == 10 + 400
+
+
+class TestExecStats:
+    def test_kernel_registry_aggregates_by_site(self):
+        st = ExecStats()
+        k1 = st.kernel(1, "map", "a")
+        k2 = st.kernel(1, "map", "a")
+        assert k1 is k2
+        assert st.kernel(2, "map", "b") is not k1
+        assert st.kernel(1, "copy", "a") is not k1  # kind is part of the key
+
+    def test_key_recorded(self):
+        st = ExecStats()
+        k = st.kernel(7, "copy", "c")
+        assert k.key == (7, "copy")
+
+    def test_totals(self):
+        st = ExecStats()
+        a = st.kernel(1, "map", "a")
+        a.launches, a.bytes_read, a.bytes_written, a.flops = 2, 10, 20, 5
+        b = st.kernel(2, "copy", "b")
+        b.launches, b.bytes_read, b.bytes_written = 1, 7, 7
+        assert st.bytes_read == 17
+        assert st.bytes_written == 27
+        assert st.bytes_total == 44
+        assert st.flops == 5
+        assert st.launches == 3
+        assert st.copy_traffic() == 14  # only the copy-kind kernel
+
+    def test_merge_scaled_fractional(self):
+        main = ExecStats()
+        sub = ExecStats()
+        k = sub.kernel(1, "map", "a")
+        k.bytes_read = 100
+        sub.elided_copies = 2
+        main.merge_scaled(sub, 2.5)
+        assert main.bytes_read == 250
+        assert main.elided_copies == 5
+
+    def test_summary_renders(self):
+        st = ExecStats()
+        st.kernel(1, "map", "a").bytes_read = 1024
+        text = st.summary()
+        assert "bytes read" in text and "1,024" in text
