@@ -9,7 +9,6 @@ EXPERIMENTS.md can cite them.
 
 from __future__ import annotations
 
-import os
 import pathlib
 import warnings
 

@@ -9,7 +9,7 @@ Run:  python examples/index_functions.py
 import numpy as np
 
 from repro.lmad import IndexFn, lmad
-from repro.symbolic import Context, Prover, Var
+from repro.symbolic import Prover, Var
 
 
 def fig3_walkthrough():

@@ -1,0 +1,43 @@
+"""Static verification of memory-annotated IR (translation validation).
+
+The passes in :mod:`repro.mem` and :mod:`repro.opt` each argue their own
+correctness (the short-circuiter re-proves the paper's section V-C
+non-overlap conditions before every commit), but until now nothing checked
+their *output* independently -- a subtly unsound change could only be
+caught by the end-to-end NumPy comparison at small sizes.  This package is
+the independent referee: it re-derives, from the annotated program alone,
+the invariants every pass claims to preserve, and emits structured
+diagnostics when one fails.
+
+Checkers (each its own module, all driven by :func:`verify_fun`):
+
+* :mod:`repro.analysis.wellformed` -- WF rules: bindings present, memory
+  blocks in scope, alloc sizes nonnegative, existential returns consistent;
+* :mod:`repro.analysis.bounds` -- B rules: every index function's image
+  fits its block's allocated size (symbolic proof, concrete fallback);
+* :mod:`repro.analysis.liveness` -- L rules: last-use annotations are
+  consistent with actual uses, no block is referenced before its alloc;
+* :mod:`repro.analysis.races` -- R rules: in-place writes are provably
+  disjoint from every non-dependent access that can observe them
+  (sequential clobbers, map cross-thread, loop cross-iteration).
+
+Use ``python -m repro.analysis <benchmark>`` for a command-line report, or
+``compile_fun(fun, verify=True)`` to run the verifier after each memory
+stage of the pipeline.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Report,
+    Severity,
+    VerificationError,
+)
+from repro.analysis.verifier import verify_fun
+
+__all__ = [
+    "Diagnostic",
+    "Report",
+    "Severity",
+    "VerificationError",
+    "verify_fun",
+]

@@ -1,0 +1,103 @@
+"""Command-line verifier: check compiler output for memory-safety.
+
+    python -m repro.analysis nw           # verify one benchmark
+    python -m repro.analysis --all        # all seven benchmarks
+    python -m repro.analysis --list       # available benchmarks
+    python -m repro.analysis prog.py      # a file with a build() -> Fun
+
+Each program is compiled twice (with and without short-circuiting) and
+every pipeline stage's output is verified: well-formedness of the memory
+annotations, index-function bounds, last-use/ordering consistency, and
+read/write race-freedom.  Exit status is nonzero when any report has
+errors or warnings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+from repro.analysis.verifier import verify_fun
+from repro.compiler import compile_fun
+from repro.ir import ast as A
+
+
+def _load_file(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if not hasattr(module, "build"):
+        raise SystemExit(f"{path} does not define build() -> Fun")
+    return module
+
+
+def _pipelines(
+    fun: A.Fun, opt_only: bool, unopt_only: bool
+) -> Iterator[Tuple[str, A.Fun]]:
+    if not opt_only:
+        yield "unopt", compile_fun(fun, short_circuit=False).fun
+    if not unopt_only:
+        yield "opt", compile_fun(fun, short_circuit=True).fun
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "programs", nargs="*",
+        help="benchmark names and/or .py files defining build()",
+    )
+    parser.add_argument("--all", action="store_true",
+                        help="verify every registered benchmark")
+    parser.add_argument("--list", action="store_true",
+                        help="list available benchmarks")
+    parser.add_argument("--opt-only", action="store_true",
+                        help="only the short-circuited pipeline")
+    parser.add_argument("--unopt-only", action="store_true",
+                        help="only the non-short-circuited pipeline")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also show NOTE-level findings")
+    args = parser.parse_args(argv)
+
+    from repro.bench.programs import all_benchmarks
+
+    registry = all_benchmarks()
+    if args.list:
+        for name in registry:
+            print(name)
+        return 0
+
+    names: List[str] = list(args.programs)
+    if args.all:
+        names.extend(n for n in registry if n not in names)
+    if not names:
+        parser.error("no programs given (try --all or --list)")
+
+    failed = False
+    for name in names:
+        if name in registry:
+            fun = registry[name].build()
+        elif name.endswith(".py"):
+            fun = _load_file(Path(name)).build()
+        else:
+            print(f"unknown benchmark or file: {name}", file=sys.stderr)
+            return 2
+        for stage, compiled in _pipelines(
+            fun, args.opt_only, args.unopt_only
+        ):
+            report = verify_fun(compiled, stage=stage)
+            print(report.render(show_notes=args.verbose))
+            if not report.ok():
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,598 @@
+"""Race detection over memory annotations (R rules).
+
+The checker re-derives, independently of the short-circuiting pass, the
+paper's section V-B/V-C safety conditions from the *output* program: it
+walks every block collecting read/write **events** -- (memory block, LMAD
+region, variable name) triples -- and demands a non-overlap proof
+(:class:`repro.lmad.NonOverlapChecker`, including the Fig. 8 dimension
+splitting) for every pair that the program's own dataflow does not order:
+
+* **sequential clobbers** (R01): a read must not overlap any earlier
+  write through a value-flow-independent name -- the exact situation an
+  unsafe rebase creates, where an array's bytes are silently overwritten
+  while a live unrelated array still points at them;
+* **map cross-thread** (R02): threads execute in unspecified order, so
+  every pair of events on a shared (non-thread-private) block, one of
+  them a write, must be provably disjoint for distinct thread indices --
+  with *no* dataflow exemption;
+* **loop cross-iteration** (R03): a later iteration's access must not
+  overlap an earlier iteration's write unless the value legitimately
+  flows there (the carried-dependence chain).
+
+Accesses whose region cannot be expressed as a single LMAD (composed
+index functions) are reported as R04 on shared blocks: the checker cannot
+reason about them, mirroring the paper's footnote that the unknown set
+defeats all later disjointness checks.
+
+Existential memory (``emem``/``lmem``/``rmem``) is an *indirection* the
+executor resolves at run time to a real block -- the ``if`` branch's, the
+loop initializer's, or wherever the loop body left its result.  Events on
+an existential block are expanded to every block it can stand for (all
+the index functions involved are whole-buffer row-major by the introduce
+pass's normalization, so offsets transfer verbatim), which lets the
+thread-privacy analysis see through them: a per-thread scratch buffer
+carried through a sequential in-thread loop stays private.  Blocks
+allocated inside a loop or map body are fresh per iteration/thread (the
+executor enforces this), so events on them are exempt from the cross
+checks and invisible to enclosing scopes.  The one case the expansion
+cannot name -- a double-buffered loop whose parameter aliases the
+*previous* iteration's body-local allocation -- is dropped rather than
+flagged, so the checker can miss (never falsely report) races there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Report, Severity
+from repro.analysis.facts import (
+    Downstream,
+    _operand_expr,
+    concrete_blocks,
+    stmt_location,
+)
+from repro.ir import ast as A
+from repro.ir.types import ArrayType
+from repro.lmad import IndexFn, NonOverlapChecker, aggregate_over_loop
+from repro.lmad.overlap import lmad_injective
+from repro.lmad.lmad import Lmad, LmadDim
+from repro.mem.memir import (
+    MemBinding,
+    binding_of,
+    param_mem_name,
+)
+from repro.symbolic import Context, Prover, SymExpr
+
+
+@dataclass(frozen=True)
+class Event:
+    kind: str  # "r" | "w"
+    mem: str
+    lmad: Optional[Lmad]  # None: unknown region (composed index function)
+    name: str  # variable the access goes through
+    pos: int  # statement index in the current block
+    loc: str  # statement location
+
+    def describe(self) -> str:
+        what = "write" if self.kind == "w" else "read"
+        region = "<unknown region>" if self.lmad is None else str(self.lmad)
+        return f"{what} through {self.name!r} of {self.mem}:{region}"
+
+
+def _norm_lmad(l: Lmad, ctx: Context) -> Lmad:
+    """Rewrite with the context's equalities so locally-defined scalars
+    (e.g. ``g = r*b + 1``) are expressed in loop indices -- required for
+    aggregation over those indices to see the dependence."""
+    return Lmad(
+        ctx.normalize(l.offset),
+        tuple(
+            LmadDim(ctx.normalize(d.shape), ctx.normalize(d.stride))
+            for d in l.dims
+        ),
+    )
+
+
+def _update_region(binding: MemBinding, spec: A.IndexSpec) -> IndexFn:
+    """The index function of the region an in-place update writes.
+
+    (Independent reimplementation of the executor's region computation --
+    the verifier must not import the pass it is checking.)
+    """
+    if isinstance(spec, A.PointSpec):
+        f = binding.ixfn
+        for idx in spec.indices:
+            f = f.fix_dim(0, idx)
+        return f
+    if isinstance(spec, A.TripletSpec):
+        return binding.ixfn.slice_triplets(spec.triplets)
+    assert isinstance(spec, A.LmadSpec)
+    return binding.ixfn.lmad_slice(spec.lmad)
+
+
+class RaceChecker:
+    def __init__(self, fun: A.Fun, report: Report):
+        self.fun = fun
+        self.report = report
+        self.down = Downstream(fun)
+        self.concrete = concrete_blocks(fun)
+        #: existential block -> blocks it may stand for at run time
+        self._indirect: Dict[str, Tuple[str, ...]] = {}
+        self._unknown_flagged: Set[Tuple[str, str]] = set()
+
+    def run(self) -> None:
+        ctx = self.fun.build_context()
+        bindings: Dict[str, MemBinding] = {}
+        for p in self.fun.params:
+            if isinstance(p.type, ArrayType):
+                bindings[p.name] = MemBinding(
+                    param_mem_name(p.name), IndexFn.row_major(p.type.shape)
+                )
+        self._block(self.fun.body, ctx, bindings, "body")
+
+    # ==================================================================
+    # Existential indirection
+    # ==================================================================
+    def _expand_mem(
+        self, mem: str, _seen: Tuple[str, ...] = ()
+    ) -> Tuple[str, ...]:
+        if mem in _seen:
+            # A cyclic resolution (loop carrying its own result) names no
+            # new ground block; the acyclic paths already name them all.
+            return ()
+        targets = self._indirect.get(mem)
+        if targets is None:
+            return (mem,)
+        out: Dict[str, None] = {}
+        for t in targets:
+            for m in self._expand_mem(t, _seen + (mem,)):
+                out[m] = None
+        return tuple(out)
+
+    def _expand_events(self, events: List[Event]) -> List[Event]:
+        out: List[Event] = []
+        for e in events:
+            expanded = self._expand_mem(e.mem)
+            if expanded == (e.mem,):
+                out.append(e)
+            else:
+                out.extend(replace(e, mem=m) for m in expanded)
+        return out
+
+    # ==================================================================
+    # Block walk: sequential (program-order) checking
+    # ==================================================================
+    def _block(
+        self,
+        block: A.Block,
+        parent_ctx: Context,
+        parent_bindings: Dict[str, MemBinding],
+        path: str,
+    ) -> Tuple[List[Event], Set[str], Dict[str, MemBinding]]:
+        """Returns (events, locally-allocated blocks, final bindings).
+
+        ``local`` includes allocations of nested sub-blocks.  Events on
+        locally-allocated blocks are dropped from the returned summary:
+        the block is re-created by every execution of this block, so no
+        enclosing scope can share it.
+        """
+        ctx = parent_ctx.extended()
+        bindings = dict(parent_bindings)
+        events: List[Event] = []
+        local: Set[str] = set()
+        for i, stmt in enumerate(block.stmts):
+            spath = f"{path}[{i}]"
+            evs, sub_local = self._stmt_events(stmt, ctx, bindings, spath)
+            local |= sub_local
+            evs = [replace(e, pos=i) for e in self._expand_events(evs)]
+            self._seq_check(evs, events, ctx)
+            events.extend(evs)
+            exp = stmt.exp
+            if isinstance(exp, A.ScalarE):
+                ctx.define(stmt.names[0], exp.expr)
+            elif isinstance(exp, A.Lit) and exp.dtype == "i64":
+                ctx.define(stmt.names[0], int(exp.value))
+            elif isinstance(exp, A.Alloc):
+                local.add(stmt.names[0])
+            for pe in stmt.pattern:
+                if pe.is_array() and pe.mem is not None:
+                    bindings[pe.name] = binding_of(pe)
+        kept = [e for e in events if e.mem not in local]
+        return kept, local, bindings
+
+    def _seq_check(
+        self, new: List[Event], prior: List[Event], ctx: Context
+    ) -> None:
+        reads = [e for e in new if e.kind == "r"]
+        if not reads:
+            return
+        writes = [e for e in prior if e.kind == "w"]
+        if not writes:
+            return
+        checker = NonOverlapChecker(Prover(ctx), enable_splitting=True)
+        for r in reads:
+            for w in writes:
+                if w.mem != r.mem:
+                    continue
+                if self.down.dependent(w.name, r.name):
+                    continue
+                if w.lmad is None or r.lmad is None:
+                    self._flag_unknown(w if w.lmad is None else r)
+                    continue
+                self.report.count()
+                if not checker.check(w.lmad, r.lmad):
+                    self.report.add(
+                        "R01", Severity.ERROR, r.loc,
+                        f"{r.describe()} may observe the earlier "
+                        f"{w.describe()} (at {w.loc}); the two are "
+                        "value-flow independent and not provably disjoint",
+                    )
+
+    def _flag_unknown(self, e: Event) -> None:
+        key = (e.mem, e.name)
+        if key in self._unknown_flagged:
+            return
+        self._unknown_flagged.add(key)
+        self.report.add(
+            "R04", Severity.WARNING, e.loc,
+            f"{e.describe()}: region is a composed index function on a "
+            "shared block; overlap cannot be checked",
+        )
+
+    # ==================================================================
+    # Per-statement events
+    # ==================================================================
+    def _stmt_events(
+        self,
+        stmt: A.Let,
+        ctx: Context,
+        bindings: Dict[str, MemBinding],
+        spath: str,
+    ) -> Tuple[List[Event], Set[str]]:
+        exp = stmt.exp
+        loc = stmt_location(spath, stmt)
+        none: Set[str] = set()
+
+        def region_of(ixfn: IndexFn) -> Optional[Lmad]:
+            single = ixfn.as_single()
+            return None if single is None else _norm_lmad(single, ctx)
+
+        def read(name: str, b: MemBinding) -> Event:
+            return Event("r", b.mem, region_of(b.ixfn), name, 0, loc)
+
+        def write(name: str, b: MemBinding) -> Event:
+            return Event("w", b.mem, region_of(b.ixfn), name, 0, loc)
+
+        if isinstance(exp, A.Index):
+            b = bindings.get(exp.src)
+            if b is None:
+                return [], none
+            single = b.ixfn.as_single()
+            if single is None:
+                return [Event("r", b.mem, None, exp.src, 0, loc)], none
+            point = Lmad(ctx.normalize(single.apply(exp.indices)), ())
+            return [Event("r", b.mem, point, exp.src, 0, loc)], none
+
+        if isinstance(exp, A.Copy):
+            src_b = bindings.get(exp.src)
+            dst_b = binding_of(stmt.pattern[0])
+            if dst_b is None:
+                return [], none
+            if src_b is not None and src_b == dst_b:
+                return [], none  # elided by the executor: no traffic
+            out = [write(stmt.names[0], dst_b)]
+            if src_b is not None:
+                out.insert(0, read(exp.src, src_b))
+            return out, none
+
+        if isinstance(exp, A.Concat):
+            dst_b = binding_of(stmt.pattern[0])
+            if dst_b is None:
+                return [], none
+            out: List[Event] = []
+            offset: SymExpr = SymExpr.const(0)
+            inner_shape = dst_b.ixfn.shape[1:]
+            for s in exp.srcs:
+                src_b = bindings.get(s)
+                if src_b is None:
+                    continue
+                rows = src_b.ixfn.shape[0]
+                region = dst_b.ixfn.slice_triplets(
+                    [(offset, rows, 1)]
+                    + [(SymExpr.const(0), d, 1) for d in inner_shape]
+                )
+                offset = offset + rows
+                if src_b.mem == dst_b.mem and src_b.ixfn == region:
+                    continue  # operand already in place: elided
+                out.append(read(s, src_b))
+                out.append(
+                    Event(
+                        "w", dst_b.mem, region_of(region),
+                        stmt.names[0], 0, loc,
+                    )
+                )
+            return out, none
+
+        if isinstance(exp, (A.Iota, A.Replicate)):
+            dst_b = binding_of(stmt.pattern[0])
+            if dst_b is None:
+                return [], none
+            return [write(stmt.names[0], dst_b)], none
+
+        if isinstance(exp, A.Update):
+            res_b = binding_of(stmt.pattern[0])
+            if res_b is None:
+                return [], none
+            region = _update_region(res_b, exp.spec)
+            out = []
+            if isinstance(exp.value, str):
+                val_b = bindings.get(exp.value)
+                if val_b is not None and not (
+                    val_b.mem == res_b.mem and val_b.ixfn == region
+                ):
+                    out.append(read(exp.value, val_b))
+            out.append(
+                Event(
+                    "w", res_b.mem, region_of(region), stmt.names[0], 0, loc
+                )
+            )
+            return out, none
+
+        if isinstance(exp, (A.Reduce, A.ArgMin)):
+            b = bindings.get(exp.src)
+            return ([] if b is None else [read(exp.src, b)]), none
+
+        if isinstance(exp, A.Map):
+            return self._map_events(stmt, exp, ctx, bindings, spath, loc)
+        if isinstance(exp, A.Loop):
+            return self._loop_events(stmt, exp, ctx, bindings, spath, loc)
+        if isinstance(exp, A.If):
+            out = []
+            locals_: Set[str] = set()
+            branch_bindings = []
+            for sub, tag in (
+                (exp.then_block, ".then"),
+                (exp.else_block, ".else"),
+            ):
+                evs, sub_local, bb = self._block(
+                    sub, ctx, bindings, spath + tag
+                )
+                out.extend(evs)
+                locals_ |= sub_local
+                branch_bindings.append(bb)
+            self._register_if_indirect(stmt, exp, branch_bindings)
+            return out, locals_
+
+        # Views, scalars, allocs, scratch: no memory traffic.
+        return [], none
+
+    def _register_if_indirect(
+        self, stmt, exp: A.If, branch_bindings
+    ) -> None:
+        own = set(stmt.names)
+        for k, pe in enumerate(stmt.pattern):
+            if not pe.is_array() or pe.mem is None:
+                continue
+            m = binding_of(pe).mem
+            if m not in own or m in self._indirect:
+                continue
+            under: Set[str] = set()
+            for bb, sub in zip(
+                branch_bindings, (exp.then_block, exp.else_block)
+            ):
+                if k < len(sub.result):
+                    rb = bb.get(sub.result[k])
+                    if rb is not None:
+                        under.add(rb.mem)
+            under.discard(m)
+            if under:
+                self._indirect[m] = tuple(sorted(under))
+
+    # ------------------------------------------------------------------
+    def _map_events(
+        self, stmt, exp: A.Map, ctx, bindings, spath, loc
+    ) -> Tuple[List[Event], Set[str]]:
+        t = exp.lam.params[0]
+        width = _operand_expr(exp.width)
+        mctx = ctx.extended()
+        mctx.assume_range(t, 0, width - 1)
+        child, local, child_bindings = self._block(
+            exp.lam.body, mctx, bindings, spath + ".map"
+        )
+        # The implicit per-thread result write xss[t] = r (and its read of
+        # r's region, unless short-circuiting made it the same region).
+        extra: List[Event] = []
+        for k, pe in enumerate(stmt.pattern):
+            if not pe.is_array() or pe.mem is None:
+                continue
+            db = binding_of(pe)
+            region = db.ixfn.fix_dim(0, SymExpr.var(t))
+            res_name = exp.lam.body.result[k]
+            rb = child_bindings.get(res_name)
+            if rb is not None and rb.mem == db.mem and rb.ixfn == region:
+                continue  # elided implicit copy
+            if rb is not None:
+                single = rb.ixfn.as_single()
+                extra.append(
+                    Event(
+                        "r", rb.mem,
+                        None if single is None else _norm_lmad(single, mctx),
+                        res_name, 0, loc,
+                    )
+                )
+            single = region.as_single()
+            extra.append(
+                Event(
+                    "w", db.mem,
+                    None if single is None else _norm_lmad(single, mctx),
+                    pe.name, 0, loc,
+                )
+            )
+        per_thread = child + [
+            e for e in self._expand_events(extra) if e.mem not in local
+        ]
+        self._cross_check(
+            per_thread, t, width, mctx, parallel=True, loc=loc
+        )
+        return self._aggregate(per_thread, t, width, mctx), local
+
+    # ------------------------------------------------------------------
+    def _loop_events(
+        self, stmt, exp: A.Loop, ctx, bindings, spath, loc
+    ) -> Tuple[List[Event], Set[str]]:
+        count = _operand_expr(exp.count)
+        lctx = ctx.extended()
+        lctx.assume_range(exp.index, 0, count - 1)
+        lb = dict(bindings)
+        pb = getattr(exp.body, "param_bindings", {})
+        for prm, _init in exp.carried:
+            if isinstance(prm.type, ArrayType) and prm.name in pb:
+                lb[prm.name] = pb[prm.name]
+        child, local, child_bindings = self._block(
+            exp.body, lctx, lb, spath + ".loop"
+        )
+        self._register_loop_indirect(stmt, exp, bindings, child_bindings)
+        # Re-expand: events on the loop's own existentials were collected
+        # before the entries above existed.  Expansions landing on a
+        # body-local block are per-iteration private -- drop them (the
+        # documented double-buffering blind spot).
+        child = [
+            e for e in self._expand_events(child) if e.mem not in local
+        ]
+        self._cross_check(
+            child, exp.index, count, lctx, parallel=False, loc=loc
+        )
+        return self._aggregate(child, exp.index, count, lctx), local
+
+    def _register_loop_indirect(
+        self, stmt, exp: A.Loop, bindings, child_bindings
+    ) -> None:
+        pb = getattr(exp.body, "param_bindings", {})
+        for k, (prm, init) in enumerate(exp.carried):
+            if not isinstance(prm.type, ArrayType) or prm.name not in pb:
+                continue
+            pmem = pb[prm.name].mem
+            if pmem in self.concrete or pmem in self._indirect:
+                continue
+            under: Set[str] = set()
+            ib = bindings.get(init)
+            if ib is not None:
+                under.add(ib.mem)
+            rb = child_bindings.get(exp.body.result[k])
+            if rb is not None:
+                under.add(rb.mem)
+            under.discard(pmem)
+            if under:
+                self._indirect[pmem] = tuple(sorted(under))
+        for k, pe in enumerate(stmt.pattern):
+            if not pe.is_array() or pe.mem is None:
+                continue
+            rmem = binding_of(pe).mem
+            if rmem in self.concrete or rmem in self._indirect:
+                continue
+            under = set()
+            if k < len(exp.body.result):
+                rb = child_bindings.get(exp.body.result[k])
+                if rb is not None:
+                    under.add(rb.mem)
+            if k < len(exp.carried):
+                ib = bindings.get(exp.carried[k][1])
+                if ib is not None:
+                    under.add(ib.mem)  # zero-trip: result is the init
+            under.discard(rmem)
+            if under:
+                self._indirect[rmem] = tuple(sorted(under))
+
+    # ==================================================================
+    # Cross-thread / cross-iteration conditions
+    # ==================================================================
+    def _cross_check(
+        self,
+        events: List[Event],
+        var: str,
+        count: SymExpr,
+        ctx: Context,
+        parallel: bool,
+        loc: str,
+    ) -> None:
+        writes = [e for e in events if e.kind == "w"]
+        if not writes:
+            return
+        if Prover(ctx).le(count, SymExpr.const(1)):
+            return  # at most one iteration/thread: no cross pairs
+        rule = "R02" if parallel else "R03"
+        var2 = f"_{var}_other"
+        # Two orderings: the other index above, and (parallel only) below.
+        checkers = []
+        hi = ctx.extended()
+        hi.assume_range(var2, SymExpr.var(var) + 1, count - 1)
+        checkers.append(NonOverlapChecker(Prover(hi), enable_splitting=True))
+        if parallel:
+            lo = ctx.extended()
+            lo.assume_range(var2, 0, SymExpr.var(var) - 1)
+            checkers.append(
+                NonOverlapChecker(Prover(lo), enable_splitting=True)
+            )
+        memo: Dict[Tuple[Lmad, Lmad], bool] = {}
+        for w in writes:
+            for e in events:
+                if e.mem != w.mem:
+                    continue
+                if not parallel and self.down.dependent(w.name, e.name):
+                    continue  # the carried dependence: value flows there
+                if w.lmad is None or e.lmad is None:
+                    self._flag_unknown(w if w.lmad is None else e)
+                    continue
+                key = (w.lmad, e.lmad)
+                if key in memo:
+                    ok = memo[key]
+                else:
+                    self.report.count()
+                    ok = False
+                    if w.lmad == e.lmad and var in w.lmad.free_vars():
+                        # Identical parametric regions: if promoting the
+                        # index to a dimension yields an injective LMAD,
+                        # distinct indices address disjoint slabs -- a
+                        # linear proof where the offset-difference route
+                        # is nonlinear (e.g. LUD's b^2*(q-k-1) slabs).
+                        prover = Prover(ctx)
+                        agg = aggregate_over_loop(
+                            w.lmad, var, count, prover
+                        )
+                        ok = agg is not None and lmad_injective(agg, prover)
+                    if not ok:
+                        other = e.lmad.substitute({var: SymExpr.var(var2)})
+                        ok = True
+                        for chk in checkers:
+                            if not chk.check(w.lmad, other):
+                                ok = False
+                                break
+                    memo[key] = ok
+                if not ok:
+                    kind = (
+                        "two threads" if parallel else "a later iteration"
+                    )
+                    self.report.add(
+                        rule, Severity.ERROR, loc,
+                        f"{w.describe()} (at {w.loc}) is not provably "
+                        f"disjoint from the {e.describe()} (at {e.loc}) "
+                        f"when performed by {kind} ({var} != {var2})",
+                    )
+
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self, events: List[Event], var: str, count: SymExpr, ctx: Context
+    ) -> List[Event]:
+        prover = Prover(ctx)
+        out: List[Event] = []
+        for e in events:
+            if e.lmad is None or var not in e.lmad.free_vars():
+                out.append(e)
+                continue
+            agg = aggregate_over_loop(e.lmad, var, count, prover)
+            out.append(replace(e, lmad=agg))
+        return out
+
+
+def check_races(fun: A.Fun, report: Report) -> None:
+    RaceChecker(fun, report).run()

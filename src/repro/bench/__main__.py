@@ -54,6 +54,7 @@ def main(argv=None) -> int:
         print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
 
+    failed = []
     for name in names:
         module = registry[name]
         datasets = QUICK_DATASETS[name] if args.quick else None
@@ -67,7 +68,18 @@ def main(argv=None) -> int:
         print(f"validated: {report.validated}  "
               f"short-circuits: {report.sc_committed}  "
               f"dead-copy reuses: {report.sc_reused_copies}")
+        if report.sc_failures:
+            rejected = ", ".join(
+                f"{rule} x{count}"
+                for rule, count in sorted(report.sc_failures.items())
+            )
+            print(f"sc candidates rejected: {rejected}")
+        if report.validation_ran and not report.validated:
+            failed.append(name)
         print()
+    if failed:
+        print(f"VALIDATION FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -19,7 +19,6 @@ For each benchmark and dataset the harness:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -52,8 +51,15 @@ class BenchReport:
     name: str
     rows: List[Row] = field(default_factory=list)
     validated: bool = False
+    #: False when validation was skipped (``do_validate=False``), so a
+    #: False ``validated`` can be told apart from "never checked".
+    validation_ran: bool = False
     sc_committed: int = 0
     sc_reused_copies: int = 0
+    #: Per-rule tallies of abandoned short-circuit candidates, plus the
+    #: structured (rule, location) records behind them.
+    sc_failures: Dict[str, int] = field(default_factory=dict)
+    sc_failure_records: List = field(default_factory=list)
     compile_seconds: Dict[str, float] = field(default_factory=dict)
 
     def render(self) -> str:
@@ -199,12 +205,15 @@ def run_table(
     compiled = compile_both(module)
     report.sc_committed = compiled[1].sc_stats.committed
     report.sc_reused_copies = compiled[1].sc_stats.reused_copies
+    report.sc_failures = dict(compiled[1].sc_stats.failures)
+    report.sc_failure_records = list(compiled[1].sc_stats.failure_records)
     report.compile_seconds = {
         "unopt": compiled[0].compile_seconds,
         "opt": compiled[1].compile_seconds,
     }
     if do_validate:
         report.validated = validate(module, "small", compiled)
+        report.validation_ran = True
     table = datasets if datasets is not None else module.PAPER_DATASETS
     for label, args in table.items():
         stats = measure_dataset(module, args, compiled, loop_sample=loop_sample)

@@ -30,7 +30,7 @@ from repro.ir import FunBuilder, f32
 from repro.ir.ast import Fun
 from repro.ir.types import ScalarType
 from repro.lmad import lmad
-from repro.symbolic import SymExpr, Var
+from repro.symbolic import Var
 
 n, q, b = Var("n"), Var("q"), Var("b")
 

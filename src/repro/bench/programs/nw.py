@@ -22,7 +22,7 @@ the IR program and the NumPy reference share), with gap penalty 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.ir import FunBuilder, f32
 from repro.ir.ast import Fun
 from repro.ir.types import ScalarType
 from repro.lmad import lmad
-from repro.symbolic import SymExpr, Var
+from repro.symbolic import Var
 
 PENALTY = 1.0
 

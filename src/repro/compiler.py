@@ -10,6 +10,12 @@ Mirrors the relevant slice of the Futhark pipeline the paper extends:
    so the unoptimized pipeline is the paper's "Unopt. Futhark" baseline;
 6. dead-allocation cleanup.
 
+With ``verify=True`` the :mod:`repro.analysis` verifier re-checks the IR
+after memory introduction, after hoisting + last-use analysis, and after
+short-circuiting; any errors raise :class:`repro.analysis.VerificationError`
+with the offending stage attached, and all reports are kept on
+:attr:`CompiledFun.verify_reports` for inspection.
+
 Compile times are recorded per stage; the short-circuiting stage's share
 reproduces the compile-time overhead discussion of paper section V-D.
 """
@@ -36,6 +42,8 @@ class CompiledFun:
     short_circuited: bool
     sc_stats: Optional[ShortCircuitStats]
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: stage name -> verifier report, populated when compiled with verify=True
+    verify_reports: Dict[str, "object"] = field(default_factory=dict)
 
     @property
     def compile_seconds(self) -> float:
@@ -51,9 +59,17 @@ def compile_fun(
     short_circuit: bool = True,
     enable_splitting: bool = True,
     typecheck: bool = True,
+    verify: bool = False,
 ) -> CompiledFun:
-    """Run the full pipeline on a source function (which is not mutated)."""
+    """Run the full pipeline on a source function (which is not mutated).
+
+    ``verify=True`` runs the :mod:`repro.analysis` verifier after each
+    memory-transforming stage and raises
+    :class:`~repro.analysis.VerificationError` on the first stage whose
+    output has errors, identifying the pass that broke the program.
+    """
     stages: Dict[str, float] = {}
+    reports: Dict[str, object] = {}
 
     def timed(name, thunk):
         t0 = time.perf_counter()
@@ -61,11 +77,23 @@ def compile_fun(
         stages[name] = time.perf_counter() - t0
         return out
 
+    def checked(stage, target):
+        if not verify:
+            return
+        from repro.analysis import VerificationError, verify_fun
+
+        report = timed(f"verify[{stage}]", lambda: verify_fun(target, stage=stage))
+        reports[stage] = report
+        if not report.ok():
+            raise VerificationError(stage, report)
+
     if typecheck:
         timed("typecheck", lambda: typecheck_fun(fun))
     mfun = timed("introduce_memory", lambda: introduce_memory(fun))
+    checked("introduce_memory", mfun)
     timed("hoist", lambda: hoist_allocations(mfun))
     timed("last_use", lambda: analyze_last_uses(mfun))
+    checked("hoist+last_use", mfun)
     sc_stats: Optional[ShortCircuitStats] = None
     if short_circuit:
         sc_stats = timed(
@@ -73,4 +101,5 @@ def compile_fun(
             lambda: short_circuit_fun(mfun, enable_splitting=enable_splitting),
         )
         timed("dead_allocs", lambda: remove_dead_allocations(mfun))
-    return CompiledFun(mfun, short_circuit, sc_stats, stages)
+        checked("short_circuit", mfun)
+    return CompiledFun(mfun, short_circuit, sc_stats, stages, reports)

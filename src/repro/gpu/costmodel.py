@@ -18,7 +18,6 @@ A ``sequential`` flag models Rodinia NN's sequential reference reduction
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.gpu.device import Device
 from repro.mem.stats import ExecStats, KernelStat

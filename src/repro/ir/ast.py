@@ -17,13 +17,12 @@ I, "the memory information can be seen as an add-on to the IR").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Tuple, Union
 
-from repro.lmad.lmad import Lmad, Triplet
+from repro.lmad.lmad import Lmad
 from repro.symbolic import SymExpr, sym
-from repro.symbolic.expr import ExprLike
 
-from repro.ir.types import ArrayType, ScalarType, Type
+from repro.ir.types import ArrayType, Type
 
 #: Operand of a scalar expression: a variable name, a literal, or a
 #: symbolic integer expression over i64 variables.

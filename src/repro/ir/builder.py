@@ -23,7 +23,7 @@ sub-builder; call ``end()`` (or use ``with``) to emit them into the parent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lmad.lmad import Lmad
 from repro.symbolic import SymExpr, sym

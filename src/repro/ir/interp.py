@@ -14,7 +14,7 @@ dependences) are performed here with ``check_lmad_updates=True``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping
 
 import numpy as np
 

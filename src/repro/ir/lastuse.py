@@ -18,7 +18,7 @@ Results are stored in-place in each :class:`repro.ir.ast.Let`'s
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set, Tuple
+from typing import Dict, FrozenSet, Set
 
 from repro.ir import ast as A
 from repro.ir.alias import AliasInfo, analyze_aliases

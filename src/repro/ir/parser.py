@@ -36,7 +36,7 @@ anything involving floats parses to a single BinOp/UnOp as printed.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple
 
 from repro.lmad.lmad import Lmad, LmadDim
 from repro.symbolic import SymExpr, sym

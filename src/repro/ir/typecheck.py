@@ -18,7 +18,7 @@ shape-polymorphic IR.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping
 
 from repro.symbolic import SymExpr, sym
 

@@ -12,7 +12,7 @@ type system).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple, Union
 
 from repro.symbolic import SymExpr, sym

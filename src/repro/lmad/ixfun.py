@@ -27,11 +27,11 @@ is ``lmads[-1].shape``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.lmad.lmad import Lmad, LmadDim, Triplet
+from repro.lmad.lmad import Lmad, Triplet
 from repro.symbolic import Prover, SymExpr, sym
 from repro.symbolic.expr import ExprLike
 

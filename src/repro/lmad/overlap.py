@@ -26,7 +26,7 @@ what makes the NW proof (paper fig. 9) go through.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.lmad.interval import (
     SumOfIntervals,
@@ -36,7 +36,7 @@ from repro.lmad.interval import (
     stride_sort_key,
 )
 from repro.lmad.lmad import Lmad
-from repro.symbolic import Prover, SymExpr, sym
+from repro.symbolic import Prover, sym
 
 
 @dataclass

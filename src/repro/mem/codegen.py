@@ -23,13 +23,13 @@ its structural properties (kernel counts, inlined offsets, absent copies).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.lmad import IndexFn
 from repro.symbolic import Prover, SymExpr
 
 from repro.ir import ast as A
-from repro.ir.types import ArrayType, DTYPE_INFO
+from repro.ir.types import ArrayType
 from repro.mem.memir import MemBinding, binding_of, param_mem_name
 from repro.opt.summaries import _ixfn_region_of_update
 

@@ -34,14 +34,35 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.lmad import IndexFn
-from repro.lmad.lmad import Lmad
 from repro.symbolic import SymExpr
 
 from repro.ir import ast as A
 from repro.ir.interp import Interpreter, InterpError, eval_sym
-from repro.ir.types import ArrayType, DTYPE_INFO, ScalarType
+from repro.ir.types import ArrayType, DTYPE_INFO
 from repro.mem.memir import MemBinding, binding_of, param_mem_name
 from repro.mem.stats import ExecStats, KernelStat
+
+
+class MemCheckError(InterpError):
+    """Base class for violations found by the debug shadow memory."""
+
+
+class OutOfBoundsError(MemCheckError):
+    """An access touched offsets outside its memory block.
+
+    NumPy would silently wrap negative offsets, so without this check a
+    mis-rebased index function can read the *end* of a buffer and still
+    validate by luck.
+    """
+
+
+class UninitializedReadError(MemCheckError):
+    """A scalar read consumed memory nothing ever wrote.
+
+    Copies of partially-initialized buffers are legal (double-buffered
+    loops do this constantly); the shadow bit simply travels with the
+    data, and only a scalar *use* of a poisoned element is an error.
+    """
 
 
 @dataclass(frozen=True)
@@ -84,11 +105,22 @@ class MemExecutor:
         mode: str = "real",
         shared_memory_model: bool = False,
         loop_sample: Optional[int] = None,
+        debug: bool = False,
     ):
         if mode not in ("real", "dry"):
             raise ValueError(f"unknown mode {mode!r}")
+        if debug and mode != "real":
+            raise ValueError("debug shadow memory requires mode='real'")
         self.fun = fun
         self.mode = mode
+        #: Shadow-memory checking: every block gets a parallel boolean
+        #: "was this element ever written" array; reads and writes are
+        #: bounds-checked against the block extent.  Copies *propagate*
+        #: the shadow bits (valgrind-style) so double-buffering partially
+        #: initialized arrays stays legal; only scalar uses of poisoned
+        #: elements raise.  Zero overhead when off.
+        self.debug = debug
+        self._shadow: Dict[str, np.ndarray] = {}
         #: When True, arrays allocated inside kernels are treated as
         #: GPU shared memory (free traffic).  The default models Futhark's
         #: *expanded allocations*: per-thread arrays live in global memory,
@@ -147,6 +179,8 @@ class MemExecutor:
                 ):
                     env[fv[0]] = int(extent)
             self.mem[mem] = arr.reshape(-1).copy()
+            if self.debug:
+                self._shadow[mem] = np.ones(arr.size, dtype=bool)
         else:
             size = eval_sym(t.size(), env)
             self.mem[mem] = size
@@ -199,12 +233,57 @@ class MemExecutor:
     def _read(self, arr: RuntimeArray) -> np.ndarray:
         buf = self.mem[arr.mem]
         assert isinstance(buf, np.ndarray)
-        return buf[self._offsets(arr)]
+        offs = self._offsets(arr)
+        if self.debug:
+            self._check_bounds(arr.mem, offs)
+        return buf[offs]
 
     def _write(self, arr: RuntimeArray, data) -> None:
         buf = self.mem[arr.mem]
         assert isinstance(buf, np.ndarray)
-        buf[self._offsets(arr)] = data
+        offs = self._offsets(arr)
+        if self.debug:
+            self._check_bounds(arr.mem, offs)
+            sh = self._shadow.get(arr.mem)
+            if sh is not None:
+                sh[offs] = True
+        buf[offs] = data
+
+    # ------------------------------------------------------------------
+    # Debug shadow memory
+    # ------------------------------------------------------------------
+    def _check_bounds(self, mem: str, offs) -> None:
+        buf = self.mem[mem]
+        size = buf.size if isinstance(buf, np.ndarray) else int(buf)
+        offs = np.asarray(offs)
+        if offs.size and (int(offs.min()) < 0 or int(offs.max()) >= size):
+            raise OutOfBoundsError(
+                f"access to block {mem!r} touches offsets "
+                f"[{int(offs.min())}, {int(offs.max())}], outside [0, {size})"
+            )
+
+    def _check_defined(self, mem: str, offs, what: str) -> None:
+        sh = self._shadow.get(mem)
+        if sh is None:
+            return
+        offs = np.asarray(offs)
+        bad = ~sh[offs]
+        if np.any(bad):
+            first = int(np.asarray(offs).reshape(-1)[bad.reshape(-1).argmax()])
+            raise UninitializedReadError(
+                f"{what} reads uninitialized element(s) of block {mem!r} "
+                f"(first poisoned offset: {first})"
+            )
+
+    def _point_write_check(self, mem: str, off: int) -> None:
+        self._check_bounds(mem, np.array([off]))
+        sh = self._shadow.get(mem)
+        if sh is not None:
+            sh[off] = True
+
+    def _point_read_check(self, mem: str, off: int, what: str) -> None:
+        self._check_bounds(mem, np.array([off]))
+        self._check_defined(mem, np.array([off]), what)
 
     # ------------------------------------------------------------------
     # Kernel accounting
@@ -257,6 +336,13 @@ class MemExecutor:
             if offs.size:
                 data = self._read(src)
                 self._write(dst, data.reshape(offs.shape))
+                if self.debug:
+                    # Copies move the shadow bits with the data: copying
+                    # poison is legal, consuming it later is the error.
+                    ssh = self._shadow.get(src.mem)
+                    dsh = self._shadow.get(dst.mem)
+                    if ssh is not None and dsh is not None:
+                        dsh[offs] = ssh[self._offsets(src)].reshape(offs.shape)
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -286,6 +372,8 @@ class MemExecutor:
             unique = f"{name}@{self._alloc_counter}"
             if self.mode == "real":
                 self.mem[unique] = np.zeros(size, dtype=DTYPE_INFO[exp.dtype][0])
+                if self.debug:
+                    self._shadow[unique] = np.zeros(size, dtype=bool)
             else:
                 self.mem[unique] = size
             if self._kernel_stack and self.shared_memory_model:
@@ -381,6 +469,10 @@ class MemExecutor:
                 self._count_read(src.itemsize)
             if self.mode == "real":
                 off = src.ixfn.apply_concrete(idx, {})
+                if self.debug:
+                    self._point_read_check(
+                        src.mem, off, f"{stmt.names[0]} = {exp.src}{idx}"
+                    )
                 buf = self.mem[src.mem]
                 env[stmt.names[0]] = buf[off]
             else:
@@ -418,6 +510,11 @@ class MemExecutor:
                 ks.bytes_written += src.itemsize
             ks.flops += src.size()
             if self.mode == "real":
+                if self.debug:
+                    self._check_defined(
+                        src.mem, self._offsets(src),
+                        f"{type(exp).__name__.lower()} of {exp.src!r}",
+                    )
                 data = self._read(src)
                 if isinstance(exp, A.ArgMin):
                     i = int(np.argmin(data))
@@ -452,6 +549,8 @@ class MemExecutor:
                 ks.bytes_written += result.itemsize
             if self.mode == "real":
                 off = result.ixfn.apply_concrete(idx, {})
+                if self.debug:
+                    self._point_write_check(result.mem, off)
                 buf = self.mem[result.mem]
                 buf[off] = self._scalar_operand(exp.value, env)
             env[stmt.names[0]] = result
@@ -508,6 +607,8 @@ class MemExecutor:
                         off = region.ixfn.apply_concrete(
                             [0] * region.ixfn.rank, {}
                         ) if region.ixfn.rank else region.ixfn.apply_concrete([], {})
+                        if self.debug:
+                            self._point_write_check(dest.mem, off)
                         buf[off] = val
 
         self._kernel_stack.append(ks)
@@ -655,9 +756,9 @@ class MemExecutor:
         return Interpreter._unop(exp.op, self._scalar_operand(exp.x, env))
 
 
-def run_mem_fun(fun: A.Fun, mode: str = "real", **inputs):
+def run_mem_fun(fun: A.Fun, mode: str = "real", debug: bool = False, **inputs):
     """One-shot convenience for executing a memory-annotated function."""
-    return MemExecutor(fun, mode=mode).run(**inputs)
+    return MemExecutor(fun, mode=mode, debug=debug).run(**inputs)
 
 
 def _dummy(dtype: str):

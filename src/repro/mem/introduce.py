@@ -27,11 +27,10 @@ The pass never changes program semantics; it only adds annotations and
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.lmad import IndexFn, antiunify_ixfns
-from repro.lmad.lmad import Lmad
-from repro.symbolic import Prover, SymExpr, sym
+from repro.symbolic import Prover, SymExpr
 
 from repro.ir import ast as A
 from repro.ir.types import ArrayType, ScalarType

@@ -47,6 +47,22 @@ from repro.opt.summaries import (
 )
 
 
+@dataclass(frozen=True)
+class ScFailure:
+    """One abandoned short-circuiting candidate, as a structured record.
+
+    ``rule`` is the safety-condition identifier (the strings raised by
+    :class:`_Failure`, e.g. ``update:write-overlaps-uses``); ``location``
+    identifies the candidate by its root name and destination block.
+    """
+
+    rule: str
+    location: str
+
+    def render(self) -> str:
+        return f"{self.rule} @ {self.location}" if self.location else self.rule
+
+
 @dataclass
 class ShortCircuitStats:
     """Outcome counters plus per-reason failure tallies."""
@@ -59,10 +75,15 @@ class ShortCircuitStats:
     reused_copies: int = 0
     rounds: int = 0
     failures: Dict[str, int] = field(default_factory=dict)
+    #: Per-candidate failure records ((rule, location) pairs); the
+    #: ``failures`` tallies above are kept in sync and derivable from
+    #: these.
+    failure_records: List[ScFailure] = field(default_factory=list)
     committed_roots: List[str] = field(default_factory=list)
 
-    def fail(self, reason: str) -> None:
+    def fail(self, reason: str, location: str = "") -> None:
         self.failures[reason] = self.failures.get(reason, 0) + 1
+        self.failure_records.append(ScFailure(reason, location))
 
     def summary(self) -> str:
         lines = [
@@ -422,7 +443,7 @@ class _ShortCircuiter:
                     cand.writes, cand.uses, var, count, both, scope
                 )
         except _Failure as f:
-            self.stats.fail(f.reason)
+            self.stats.fail(f.reason, f"root={cand.root} dst={cand.dst_mem}")
             return False
         # Commit.
         for pe, binding in cand.planned:

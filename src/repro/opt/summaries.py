@@ -17,11 +17,11 @@ which defeats every later disjointness check.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, FrozenSet, List
 
 from repro.lmad import IndexFn, NonOverlapChecker, aggregate_over_loop
 from repro.lmad.lmad import Lmad
-from repro.symbolic import Prover, SymExpr, sym
+from repro.symbolic import Prover, SymExpr
 
 from repro.ir import ast as A
 from repro.mem.memir import MemBinding, binding_of

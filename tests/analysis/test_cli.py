@@ -1,0 +1,33 @@
+"""The ``python -m repro.analysis`` entry point."""
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "nw" in out and "lud" in out
+
+
+def test_single_benchmark_ok(capsys):
+    assert main(["nw"]) == 0
+    out = capsys.readouterr().out
+    assert "nw [unopt]" in out and "nw [opt]" in out
+    assert "OK" in out
+
+
+def test_opt_only_runs_one_pipeline(capsys):
+    assert main(["nn", "--opt-only"]) == 0
+    out = capsys.readouterr().out
+    assert "[opt]" in out and "[unopt]" not in out
+
+
+def test_unknown_name_is_an_error(capsys):
+    assert main(["not-a-benchmark"]) == 2
+
+
+def test_no_programs_is_usage_error():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,153 @@
+"""Negative corpus for the memory-IR verifier.
+
+Each test hand-breaks one invariant of a correctly-compiled program and
+asserts that exactly the intended rule fires (plus that the pristine
+program is clean, so the corpus cannot pass vacuously).
+"""
+
+import numpy as np
+
+from repro.analysis import verify_fun
+from repro.compiler import compile_fun
+from repro.ir import ast as A
+from repro.lmad import IndexFn, lmad
+from repro.mem.exec import MemExecutor
+from repro.mem.memir import MemBinding, binding_of, param_mem_name
+from repro.symbolic import SymExpr
+
+from tests.analysis.conftest import array_pat, find_stmt, map_stmt, simple_fun
+
+
+def test_pristine_program_is_clean(compiled_simple):
+    report = verify_fun(compiled_simple)
+    assert report.ok()
+    assert not report.diagnostics
+
+
+# ----------------------------------------------------------------------
+# Well-formedness
+# ----------------------------------------------------------------------
+def test_wf01_missing_binding(compiled_simple):
+    array_pat(map_stmt(compiled_simple)).mem = None
+    report = verify_fun(compiled_simple)
+    assert "WF01" in report.rules_fired()
+    assert report.errors
+
+
+def test_wf02_unknown_block(compiled_simple):
+    pe = array_pat(map_stmt(compiled_simple))
+    pe.mem = MemBinding("no_such_block", binding_of(pe).ixfn)
+    report = verify_fun(compiled_simple)
+    assert "WF02" in report.rules_fired()
+
+
+def test_wf03_negative_alloc(compiled_simple):
+    stmt = find_stmt(compiled_simple, lambda s: isinstance(s.exp, A.Alloc))
+    stmt.exp = A.Alloc(SymExpr.const(-4), stmt.exp.dtype)
+    report = verify_fun(compiled_simple)
+    assert "WF03" in report.rules_fired()
+
+
+def test_wf05_rank_mismatch(compiled_simple):
+    pe = array_pat(map_stmt(compiled_simple))
+    b = binding_of(pe)
+    wrong = IndexFn.row_major((SymExpr.var("n"), SymExpr.var("n")))
+    pe.mem = MemBinding(b.mem, wrong)
+    report = verify_fun(compiled_simple)
+    assert "WF05" in report.rules_fired()
+
+
+# ----------------------------------------------------------------------
+# Bounds
+# ----------------------------------------------------------------------
+def test_b01_offset_past_allocation(compiled_simple):
+    pe = array_pat(map_stmt(compiled_simple))
+    b = binding_of(pe)
+    # Shift the whole row one element to the right: the last write now
+    # lands at offset n, one past the block's n elements.
+    shifted = IndexFn((lmad(1, [(SymExpr.var("n"), 1)]),))
+    pe.mem = MemBinding(b.mem, shifted)
+    report = verify_fun(compiled_simple)
+    assert "B01" in report.rules_fired()
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+def test_l01_stale_last_use(compiled_simple):
+    # Claim `x` dies at the map although the reduce still reads it.  Any
+    # consumer of last_uses would be licensed to reuse x's buffer there.
+    stmt = map_stmt(compiled_simple)
+    stmt.last_uses = frozenset(stmt.last_uses) | {"x"}
+    report = verify_fun(compiled_simple)
+    assert "L01" in report.rules_fired()
+
+
+def test_l02_alloc_after_use(compiled_simple):
+    block = compiled_simple.body
+    alloc = find_stmt(compiled_simple, lambda s: isinstance(s.exp, A.Alloc))
+    block.stmts.remove(alloc)
+    block.stmts.append(alloc)
+    report = verify_fun(compiled_simple)
+    assert "L02" in report.rules_fired()
+
+
+# ----------------------------------------------------------------------
+# Races
+# ----------------------------------------------------------------------
+def test_r01_rebase_clobbers_live_input(compiled_simple):
+    # Simulate a broken short-circuiting commit: re-home the fresh map
+    # result onto the input's block.  The map's writes now land on x,
+    # which the reduce reads afterwards -- with no value flow to excuse it.
+    pe = array_pat(map_stmt(compiled_simple))
+    b = binding_of(pe)
+    pe.mem = MemBinding(param_mem_name("x"), b.ixfn)
+    report = verify_fun(compiled_simple)
+    assert "R01" in report.rules_fired()
+    # The annotation bug is observable: the executor (which trusts the
+    # annotations) now disagrees with the source semantics.
+    ex = MemExecutor(compiled_simple)
+    vals, _ = ex.run(x=np.arange(4, dtype=np.float32))
+    got_sum = vals[1]
+    assert got_sum != np.arange(4, dtype=np.float32).sum()
+
+
+def test_r02_threads_share_an_element(compiled_simple):
+    # All n threads of the map write through a stride-0 row: every
+    # thread stores to offset 0 of the block.
+    pe = array_pat(map_stmt(compiled_simple))
+    b = binding_of(pe)
+    squashed = IndexFn((lmad(0, [(SymExpr.var("n"), 0)]),))
+    pe.mem = MemBinding(b.mem, squashed)
+    report = verify_fun(compiled_simple)
+    assert "R02" in report.rules_fired()
+
+
+def test_verify_option_raises_on_broken_pass(monkeypatch):
+    """compile_fun(verify=True) turns verifier errors into exceptions."""
+    from repro.analysis import VerificationError
+    from repro.mem import introduce as I
+
+    original = I.introduce_memory
+
+    def sabotaged(fun):
+        out = original(fun)
+        array_pat(map_stmt(out)).mem = None
+        return out
+
+    monkeypatch.setattr("repro.compiler.introduce_memory", sabotaged)
+    try:
+        compile_fun(simple_fun(), short_circuit=False, verify=True)
+    except VerificationError as e:
+        assert e.stage == "introduce_memory"
+        assert "WF01" in e.report.rules_fired()
+    else:
+        raise AssertionError("verify=True did not flag the broken stage")
+
+
+def test_verify_option_clean_program_keeps_reports():
+    cf = compile_fun(simple_fun(), verify=True)
+    assert set(cf.verify_reports) == {
+        "introduce_memory", "hoist+last_use", "short_circuit"
+    }
+    assert all(r.ok() for r in cf.verify_reports.values())

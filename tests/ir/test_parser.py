@@ -9,7 +9,6 @@ from repro.ir import ast as A
 from repro.ir.parser import ParseError, parse_fun
 from repro.ir.pretty import pretty_fun
 from repro.ir.typecheck import typecheck_fun
-from repro.lmad import lmad
 from repro.symbolic import Var
 
 

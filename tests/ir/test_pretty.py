@@ -1,6 +1,5 @@
 """Golden tests for the pretty-printer."""
 
-import numpy as np
 
 from repro import FunBuilder, compile_fun, f32, pretty_fun
 from repro.ir.lastuse import analyze_last_uses

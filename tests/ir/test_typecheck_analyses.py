@@ -1,6 +1,5 @@
 """Tests for the type checker, alias analysis and last-use analysis."""
 
-import numpy as np
 import pytest
 
 from repro.ir import (

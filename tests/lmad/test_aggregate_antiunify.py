@@ -1,6 +1,5 @@
 """Tests for loop aggregation (section II-B) and anti-unification (IV-C)."""
 
-import pytest
 
 from repro.lmad import (
     IndexFn,

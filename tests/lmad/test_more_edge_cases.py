@@ -1,12 +1,11 @@
 """Additional edge-case coverage for the LMAD layer."""
 
 import numpy as np
-import pytest
 
-from repro.lmad import IndexFn, Lmad, lmad, lmads_nonoverlapping
+from repro.lmad import IndexFn, lmad, lmads_nonoverlapping
 from repro.lmad.aggregate import aggregate_over_loop
 from repro.lmad.interval import synthesize_strides, stride_sort_key
-from repro.symbolic import Const, Context, Prover, Var, sym
+from repro.symbolic import Context, Prover, Var, sym
 
 n, m, i, j = Var("n"), Var("m"), Var("i"), Var("j")
 

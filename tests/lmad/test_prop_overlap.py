@@ -8,7 +8,7 @@ A violation here would mean short-circuiting could corrupt user data.
 import numpy as np
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.lmad import IndexFn, Lmad, lmad, lmads_nonoverlapping
+from repro.lmad import IndexFn, lmad, lmads_nonoverlapping
 from repro.lmad.overlap import lmad_injective
 from repro.symbolic import Prover
 

@@ -6,7 +6,6 @@ properties of the text: inlined flat-offset expressions, kernel counts,
 and copies that disappear under short-circuiting.
 """
 
-import pytest
 
 from repro import FunBuilder, compile_fun, f32
 from repro.lmad import lmad

@@ -2,13 +2,12 @@
 interpreter, traffic accounting, elision rule, and dry-run scaling."""
 
 import numpy as np
-import pytest
 
 from repro.ir import FunBuilder, f32, run_fun
 from repro.ir import ast as A
 from repro.lmad import IndexFn, lmad
 from repro.mem import introduce_memory
-from repro.mem.exec import MemExecutor, MemRef, RuntimeArray
+from repro.mem.exec import MemExecutor, RuntimeArray
 from repro.mem.memir import MemBinding
 from repro.symbolic import Var
 

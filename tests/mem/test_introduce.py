@@ -1,7 +1,6 @@
 """Tests for the memory introduction pass (paper section IV-C)."""
 
 import numpy as np
-import pytest
 
 from repro.ir import FunBuilder, f32, run_fun
 from repro.ir import ast as A
@@ -9,7 +8,7 @@ from repro.lmad import IndexFn, lmad
 from repro.mem import introduce_memory, hoist_allocations
 from repro.mem.hoist import remove_dead_allocations
 from repro.mem.memir import binding_of
-from repro.symbolic import Const, Prover, Var, sym
+from repro.symbolic import Var
 
 n, m = Var("n"), Var("m")
 

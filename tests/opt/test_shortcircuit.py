@@ -6,7 +6,6 @@ that the optimized executor still agrees with the reference interpreter.
 """
 
 import numpy as np
-import pytest
 
 from repro.compiler import compile_fun
 from repro.ir import FunBuilder, f32, i64, run_fun

@@ -1,7 +1,6 @@
 """Tests for access summaries and the precision of destination-use
 collection (the U_xss machinery of paper section V-B)."""
 
-import numpy as np
 import pytest
 
 from repro.ir import FunBuilder, f32
@@ -9,7 +8,6 @@ from repro.ir import ast as A
 from repro.lmad import IndexFn, NonOverlapChecker, lmad
 from repro.lmad.lmad import Lmad
 from repro.mem import introduce_memory
-from repro.mem.memir import MemBinding, binding_of
 from repro.opt.summaries import (
     AccessSet,
     collect_block_dst_uses,

@@ -6,11 +6,10 @@ short-circuiting legality.  Hypothesis generates random expressions and random
 integer environments and cross-checks every operation against plain ints.
 """
 
-import math
 
 from hypothesis import given, settings, strategies as st
 
-from repro.symbolic import Const, Context, Prover, SymExpr, Var, sym
+from repro.symbolic import Const, Context, Prover, SymExpr, Var
 
 VARS = ["a", "b", "c", "d"]
 

@@ -1,7 +1,6 @@
 """Integration tests for the compilation pipeline driver."""
 
 import numpy as np
-import pytest
 
 from repro import compile_fun, f32, FunBuilder, parse_fun, pretty_fun, run_fun
 from repro.ir import ast as A
