@@ -4,16 +4,21 @@
                                           # at the paper's dataset sizes)
     python -m repro.bench nw hotspot      # a subset
     python -m repro.bench nw --quick      # scaled-down datasets (seconds)
+    python -m repro.bench --quick --json  # + executor-tier wall clock,
+                                          # written to benchmarks/results/
     python -m repro.bench --list          # available benchmarks
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 import warnings
+from pathlib import Path
 
-from repro.bench.harness import run_table
+from repro.bench.harness import compile_both, measure_engine, run_table
 from repro.bench.programs import all_benchmarks
 
 #: Scaled-down datasets for --quick runs (same code paths, small sizes).
@@ -25,6 +30,20 @@ QUICK_DATASETS = {
     "optionpricing": {"medium": (1024, 64)},
     "locvolcalib": {"small": (8, 128, 32)},
     "nn": {"855280": (855280,)},
+}
+
+#: Real-mode datasets for the executor-tier wall-clock comparison
+#: (``--json``).  Sized so the interpreted tier finishes in seconds while
+#: the vectorized engine's speedup is well past amortization -- these are
+#: the numbers the perf trajectory tracks across PRs.
+PERF_DATASETS = {
+    "nw": (16, 16),
+    "lud": (8, 8),
+    "hotspot": (24, 3),
+    "lbm": (16, 4),
+    "optionpricing": (128, 32),
+    "locvolcalib": (4, 16, 4),
+    "nn": (5000,),
 }
 
 
@@ -40,6 +59,9 @@ def main(argv=None) -> int:
                         help="list available benchmarks")
     parser.add_argument("--no-validate", action="store_true",
                         help="skip the real-data validation run")
+    parser.add_argument("--json", action="store_true",
+                        help="measure executor tiers and write a "
+                             "benchmarks/results/BENCH_<ts>.json report")
     args = parser.parse_args(argv)
 
     registry = all_benchmarks()
@@ -55,15 +77,21 @@ def main(argv=None) -> int:
         return 2
 
     failed = []
+    tier_failed = []
+    results = {}
     for name in names:
         module = registry[name]
         datasets = QUICK_DATASETS[name] if args.quick else None
+        compiled = compile_both(module)
+        t0 = time.perf_counter()
         report = run_table(
             module,
             datasets=datasets,
             do_validate=not args.no_validate,
             loop_sample=4,
+            compiled=compiled,
         )
+        table_s = time.perf_counter() - t0
         print(report.render())
         print(f"validated: {report.validated}  "
               f"short-circuits: {report.sc_committed}  "
@@ -76,9 +104,62 @@ def main(argv=None) -> int:
             print(f"sc candidates rejected: {rejected}")
         if report.validation_ran and not report.validated:
             failed.append(name)
+
+        engine = None
+        if args.json:
+            engine = measure_engine(module, PERF_DATASETS[name], compiled)
+            print(f"engine: interp {engine['interp_s']:.2f}s / "
+                  f"vec {engine['vec_s']:.2f}s = "
+                  f"{engine['speedup']:.1f}x  "
+                  f"(hit rate {engine['vec_hit_rate']:.2f})")
+            if not (engine["outputs_equal"] and engine["stats_equal"]
+                    and engine["vec_hit_rate"] > 0):
+                tier_failed.append(name)
+
+        results[name] = {
+            "validated": report.validated,
+            "validation_ran": report.validation_ran,
+            "table_wall_s": table_s,
+            "compile_s": report.compile_seconds,
+            "short_circuits": report.sc_committed,
+            "dead_copy_reuses": report.sc_reused_copies,
+            "sc_rejected": dict(report.sc_failures),
+            "engine": engine,
+            "rows": [
+                {
+                    "device": r.device,
+                    "dataset": r.dataset,
+                    "ref_ms": r.ref_ms,
+                    "unopt_ms": r.unopt_ms,
+                    "opt_ms": r.opt_ms,
+                    "unopt_rel": r.unopt_rel,
+                    "opt_rel": r.opt_rel,
+                    "impact": r.impact,
+                }
+                for r in report.rows
+            ],
+        }
         print()
+
+    if args.json:
+        ts = time.strftime("%Y%m%d-%H%M%S")
+        out_dir = Path("benchmarks") / "results"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out_path = out_dir / f"BENCH_{ts}.json"
+        payload = {
+            "timestamp": ts,
+            "quick": args.quick,
+            "benchmarks": results,
+        }
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
     if failed:
         print(f"VALIDATION FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    if tier_failed:
+        print(f"EXECUTOR TIER CHECK FAILED: {', '.join(tier_failed)}",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -19,6 +19,7 @@ For each benchmark and dataset the harness:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -113,6 +114,50 @@ def validate(module, dataset: str = "small", compiled=None) -> bool:
     return True
 
 
+def measure_engine(module, args: Sequence, compiled=None) -> Dict[str, object]:
+    """Wall-clock the two real-mode executor tiers on one dataset.
+
+    Runs the optimized pipeline once under the interpreted executor
+    (``vectorize=False``) and once under the vectorized engine, on
+    identical inputs, and checks the tier-equivalence invariant along the
+    way: bit-identical outputs and an identical :meth:`ExecStats.signature`.
+    The returned dict feeds the ``--json`` perf trajectory.
+    """
+    _, opt = compiled if compiled is not None else compile_both(module)
+    inp = module.inputs_for(*args)
+
+    def fresh():
+        return {k: (v.copy() if hasattr(v, "copy") else v) for k, v in inp.items()}
+
+    ex_i = MemExecutor(opt.fun, vectorize=False)
+    t0 = time.perf_counter()
+    vals_i, _ = ex_i.run(**fresh())
+    interp_s = time.perf_counter() - t0
+
+    ex_v = MemExecutor(opt.fun)
+    t0 = time.perf_counter()
+    vals_v, _ = ex_v.run(**fresh())
+    vec_s = time.perf_counter() - t0
+
+    outputs_equal = all(
+        np.array_equal(
+            np.asarray(materialize(ex_i, a)), np.asarray(materialize(ex_v, b))
+        )
+        for a, b in zip(vals_i, vals_v)
+    )
+    return {
+        "dataset": list(args),
+        "interp_s": interp_s,
+        "vec_s": vec_s,
+        "speedup": interp_s / vec_s if vec_s > 0 else float("inf"),
+        "vec_hit_rate": ex_v.stats.vec_hit_rate,
+        "vec_launches": ex_v.stats.vec_launches,
+        "interp_launches": ex_v.stats.interp_launches,
+        "outputs_equal": outputs_equal,
+        "stats_equal": ex_i.stats.signature() == ex_v.stats.signature(),
+    }
+
+
 def _reference_of(module, args, inp) -> List[np.ndarray]:
     """Invoke the module's NumPy reference with the right signature."""
     name = module.__name__.rsplit(".", 1)[-1]
@@ -198,11 +243,13 @@ def run_table(
     devices: Sequence[Device] = (A100, MI100),
     do_validate: bool = True,
     loop_sample: Optional[int] = None,
+    compiled: Optional[Tuple[CompiledFun, CompiledFun]] = None,
 ) -> BenchReport:
     """Regenerate one paper table for a benchmark module."""
     name = module.__name__.rsplit(".", 1)[-1]
     report = BenchReport(name=name)
-    compiled = compile_both(module)
+    if compiled is None:
+        compiled = compile_both(module)
     report.sc_committed = compiled[1].sc_stats.committed
     report.sc_reused_copies = compiled[1].sc_stats.reused_copies
     report.sc_failures = dict(compiled[1].sc_stats.failures)

@@ -106,6 +106,7 @@ class MemExecutor:
         shared_memory_model: bool = False,
         loop_sample: Optional[int] = None,
         debug: bool = False,
+        vectorize: bool = True,
     ):
         if mode not in ("real", "dry"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -113,6 +114,11 @@ class MemExecutor:
             raise ValueError("debug shadow memory requires mode='real'")
         self.fun = fun
         self.mode = mode
+        #: Dispatch eligible real-mode ``map`` statements to the batched
+        #: NumPy engine (repro.mem.vectorize).  Per-element interpretation
+        #: remains the semantic reference; debug mode always interprets so
+        #: shadow-memory checks see every access.
+        self.vectorize = vectorize and mode == "real" and not debug
         #: Shadow-memory checking: every block gets a parallel boolean
         #: "was this element ever written" array; reads and writes are
         #: bounds-checked against the block extent.  Copies *propagate*
@@ -139,6 +145,11 @@ class MemExecutor:
         # Blocks allocated inside a kernel are thread-local (the GPU's
         # shared memory / registers): traffic to them is not DRAM traffic.
         self._local_mems: set = set()
+        # Offset arrays depend only on the (fully concrete) index function,
+        # so identical regions accessed across loop iterations share one
+        # array.  Callers never mutate the result.
+        self._offs_cache: Dict[Tuple[str, IndexFn], np.ndarray] = {}
+        self._vec_engine = None  # lazily built repro.mem.vectorize.VecEngine
 
     # ------------------------------------------------------------------
     # Entry
@@ -228,7 +239,12 @@ class MemExecutor:
         return RuntimeArray(mem, self._instantiate(b.ixfn, env), dtype)
 
     def _offsets(self, arr: RuntimeArray) -> np.ndarray:
-        return arr.ixfn.gather_offsets({})
+        key = (arr.mem, arr.ixfn)
+        offs = self._offs_cache.get(key)
+        if offs is None:
+            offs = arr.ixfn.gather_offsets({})
+            self._offs_cache[key] = offs
+        return offs
 
     def _read(self, arr: RuntimeArray) -> np.ndarray:
         buf = self.mem[arr.mem]
@@ -614,8 +630,21 @@ class MemExecutor:
         self._kernel_stack.append(ks)
         try:
             if self.mode == "real":
-                for i in range(width):
-                    run_thread(i)
+                ran_vec = False
+                if self.vectorize and width > 0:
+                    if self._vec_engine is None:
+                        from repro.mem.vectorize import VecEngine
+
+                        self._vec_engine = VecEngine(self)
+                    ran_vec = self._vec_engine.try_run_map(
+                        stmt, exp, env, width, dests
+                    )
+                if ran_vec:
+                    self.stats.vec_launches += 1
+                elif width > 0:
+                    self.stats.interp_launches += 1
+                    for i in range(width):
+                        run_thread(i)
             else:
                 # Dry mode: one representative thread, traffic scaled.
                 if width > 0:

@@ -53,6 +53,13 @@ class ExecStats:
     elided_bytes: int = 0
     alloc_bytes: int = 0
     alloc_count: int = 0
+    #: Execution-tier counters (real mode): how many ``map`` statement
+    #: executions ran on the vectorized engine vs the interpreted
+    #: fallback.  Pure wall-clock bookkeeping -- excluded from
+    #: :meth:`signature`, because the tiers must agree on every simulated
+    #: quantity.
+    vec_launches: int = 0
+    interp_launches: int = 0
 
     # ------------------------------------------------------------------
     def kernel(self, site: int, kind: str, label: str) -> KernelStat:
@@ -102,6 +109,36 @@ class ExecStats:
     @property
     def launches(self) -> int:
         return sum(k.launches for k in self.kernels.values())
+
+    @property
+    def vec_hit_rate(self) -> float:
+        """Fraction of real-mode map dispatches served by the vectorized
+        engine.  0.0 when nothing dispatched (dry mode)."""
+        total = self.vec_launches + self.interp_launches
+        return self.vec_launches / total if total else 0.0
+
+    def signature(self) -> tuple:
+        """Canonical tuple of every *simulated* quantity.
+
+        Two runs of the same program are cost-model equivalent iff their
+        signatures are equal; the differential tests use this to pin the
+        vectorized engine to the interpreted path bit-for-bit.  Kernel
+        registry keys carry ``id(stmt)`` (not stable across compiles), so
+        kernels are identified by (kind, label) here.  Execution-tier
+        counters are deliberately excluded: they describe *how* the run
+        executed, not *what* it simulated.
+        """
+        kernels = sorted(
+            (k.kind, k.label, k.launches, k.bytes_read, k.bytes_written, k.flops)
+            for k in self.kernels.values()
+        )
+        return (
+            tuple(kernels),
+            self.elided_copies,
+            self.elided_bytes,
+            self.alloc_bytes,
+            self.alloc_count,
+        )
 
     def copy_traffic(self) -> int:
         """Bytes moved by pure data-movement kernels (copy/update/concat)."""

@@ -160,6 +160,25 @@ class _ShortCircuiter:
         self.max_rounds = max_rounds
         self.stats = ShortCircuitStats()
         self._rebased: Set[str] = set()
+        #: One Prover (and its NonOverlapChecker) per assumption context,
+        #: shared across every non-overlap query issued against that
+        #: context within a round, so the prover's memo table amortizes
+        #: over all circuit points of a block instead of being rebuilt
+        #: per query batch (paper section V-D).  Entries hold a strong
+        #: reference to the context so the id() key cannot be recycled.
+        self._prover_cache: Dict[int, Tuple[Context, Prover, NonOverlapChecker]] = {}
+        self._cross_iter_cache: Dict[tuple, Tuple[Context, NonOverlapChecker]] = {}
+
+    def _prover_for(self, ctx: Context) -> Tuple[Prover, NonOverlapChecker]:
+        ent = self._prover_cache.get(id(ctx))
+        if ent is None or ent[0] is not ctx:
+            prover = Prover(ctx)
+            checker = NonOverlapChecker(
+                prover, enable_splitting=self.enable_splitting
+            )
+            ent = (ctx, prover, checker)
+            self._prover_cache[id(ctx)] = ent
+        return ent[1], ent[2]
 
     # ==================================================================
     def run(self) -> ShortCircuitStats:
@@ -168,6 +187,10 @@ class _ShortCircuiter:
         for _ in range(self.max_rounds):
             analyze_last_uses(self.fun)
             self.stats.rounds += 1
+            # Contexts are rebuilt (and may gain equalities) every round;
+            # memoized answers must not leak across that boundary.
+            self._prover_cache.clear()
+            self._cross_iter_cache.clear()
             root_scope = self._root_scope()
             changed = self._process_block(self.fun.body, root_scope)
             # Views and update results derived from rebased arrays must
@@ -310,7 +333,7 @@ class _ShortCircuiter:
         cur = binding_of(pe)
         if cur is not None and cur.mem == sb.mem:
             return False  # already reused
-        prover = Prover(scope.ctx)
+        prover, _ = self._prover_for(scope.ctx)
         if not sb.ixfn.is_direct(prover):
             return False
         pe.mem = MemBinding(sb.mem, sb.ixfn)
@@ -431,8 +454,7 @@ class _ShortCircuiter:
         cross_iteration: Optional[Tuple[str, SymExpr, bool]] = None,
     ) -> bool:
         self.stats.attempted += 1
-        prover = Prover(scope.ctx)
-        checker = NonOverlapChecker(prover, enable_splitting=self.enable_splitting)
+        prover, checker = self._prover_for(scope.ctx)
         try:
             self._walk(block, scope, circuit_idx, cand, prover, checker)
             if cand.pending:
@@ -703,10 +725,7 @@ class _ShortCircuiter:
         child = self._loop_body_scope(stmt, exp, scope, j)
         self._populate_scope(child)
 
-        body_prover = Prover(child.ctx)
-        body_checker = NonOverlapChecker(
-            body_prover, enable_splitting=self.enable_splitting
-        )
+        body_prover, body_checker = self._prover_for(child.ctx)
         sub = _Candidate(body_res, Ft, cand.dst_mem)
         sub.names |= cand.names
         self._walk(
@@ -781,11 +800,20 @@ class _ShortCircuiter:
         if both_directions:
             directions.append((sym(0), SymExpr.var(var) - 1))
         for lo, hi in directions:
-            ctx = scope.ctx.extended()
-            ctx.assume_range(jvar, lo, hi)
-            checker = NonOverlapChecker(
-                Prover(ctx), enable_splitting=self.enable_splitting
-            )
+            # The extended context (and its prover memo) depends only on
+            # the enclosing scope and the shifted-iteration range, so it
+            # is shared across every candidate checked at this loop/map.
+            key = (id(scope.ctx), jvar, lo, hi)
+            ent = self._cross_iter_cache.get(key)
+            if ent is None or ent[0] is not scope.ctx:
+                ctx = scope.ctx.extended()
+                ctx.assume_range(jvar, lo, hi)
+                checker = NonOverlapChecker(
+                    Prover(ctx), enable_splitting=self.enable_splitting
+                )
+                self._cross_iter_cache[key] = (scope.ctx, checker)
+            else:
+                checker = ent[1]
             shifted = uses.substitute({var: SymExpr.var(jvar)})
             if not writes.disjoint_from(shifted, checker):
                 raise _Failure("cross-iteration-overlap")

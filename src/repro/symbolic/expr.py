@@ -77,7 +77,7 @@ class SymExpr:
     prover for semantic equality under assumptions).
     """
 
-    __slots__ = ("_terms", "_hash")
+    __slots__ = ("_terms", "_hash", "_fv")
 
     def __init__(self, terms: Mapping[Monomial, int]):
         # Drop zero coefficients to keep the normal form canonical.
@@ -85,6 +85,7 @@ class SymExpr:
             m: c for m, c in terms.items() if c != 0
         }
         self._hash: Optional[int] = None
+        self._fv: Optional[frozenset] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -133,11 +134,18 @@ class SymExpr:
         return self._terms.get(_CONST_MONO, 0)
 
     def free_vars(self) -> frozenset:
-        out = set()
-        for m in self._terms:
-            for var, _ in m:
-                out.add(var)
-        return frozenset(out)
+        # Cached: free-variable sets are queried on every symbolic
+        # instantiation and prover normalization, and expressions are
+        # immutable.
+        fv = self._fv
+        if fv is None:
+            out = set()
+            for m in self._terms:
+                for var, _ in m:
+                    out.add(var)
+            fv = frozenset(out)
+            self._fv = fv
+        return fv
 
     def degree(self) -> int:
         if not self._terms:
@@ -274,6 +282,32 @@ class SymExpr:
         """Simultaneously substitute expressions for variables."""
         if not mapping:
             return self
+        fv = self.free_vars()
+        if not any(v in fv for v in mapping):
+            return self
+        if all(
+            isinstance(e, int) and not isinstance(e, bool)
+            for e in mapping.values()
+        ):
+            # Fast path for concrete instantiation (the executor's hot
+            # loop): fold integer values directly into the coefficients
+            # instead of going through polynomial multiplication.
+            terms: Dict[Monomial, int] = {}
+            for m, c in self._terms.items():
+                rest = []
+                for var, p in m:
+                    val = mapping.get(var)
+                    if val is None:
+                        rest.append((var, p))
+                    else:
+                        c *= val**p
+                key = tuple(rest)
+                acc = terms.get(key, 0) + c
+                if acc:
+                    terms[key] = acc
+                elif key in terms:
+                    del terms[key]
+            return SymExpr(terms)
         coerced = {v: SymExpr.coerce(e) for v, e in mapping.items()}
         result = SymExpr.const(0)
         for m, c in self._terms.items():

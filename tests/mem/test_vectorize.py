@@ -1,0 +1,194 @@
+"""Tests for the vectorized kernel engine (``repro.mem.vectorize``).
+
+The engine's contract is *tier equivalence*: for any program it accepts,
+it must produce bit-identical outputs and a bit-identical
+``ExecStats.signature()`` relative to the interpreted per-thread path.
+Programs it cannot express must fall back, silently and correctly.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import compile_both, materialize
+from repro.ir import FunBuilder, f32
+from repro.mem import introduce_memory
+from repro.mem.exec import MemExecutor
+from repro.symbolic import Var
+
+n = Var("n")
+
+BENCHMARKS = ["nw", "lud", "hotspot", "lbm", "optionpricing", "locvolcalib", "nn"]
+
+
+def run_tiers(fun, inputs):
+    """Run ``fun`` under both executor tiers on identical inputs."""
+
+    def fresh():
+        return {
+            k: (v.copy() if hasattr(v, "copy") else v) for k, v in inputs.items()
+        }
+
+    ex_i = MemExecutor(fun, vectorize=False)
+    vals_i, _ = ex_i.run(**fresh())
+    ex_v = MemExecutor(fun)
+    vals_v, _ = ex_v.run(**fresh())
+    return ex_i, vals_i, ex_v, vals_v
+
+
+def assert_tier_equivalent(ex_i, vals_i, ex_v, vals_v):
+    for a, b in zip(vals_i, vals_v):
+        ga = np.asarray(materialize(ex_i, a))
+        gb = np.asarray(materialize(ex_v, b))
+        assert np.array_equal(ga, gb), "outputs differ between tiers"
+    assert ex_i.stats.signature() == ex_v.stats.signature(), (
+        "simulated stats differ between tiers"
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential: every benchmark, both pipelines
+# ----------------------------------------------------------------------
+class TestDifferential:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_benchmark_tiers_agree(self, name):
+        mod = importlib.import_module(f"repro.bench.programs.{name}")
+        inputs = mod.inputs_for(*mod.TEST_DATASETS["small"])
+        for compiled in compile_both(mod):
+            ex_i, vals_i, ex_v, vals_v = run_tiers(compiled.fun, inputs)
+            assert_tier_equivalent(ex_i, vals_i, ex_v, vals_v)
+            assert ex_v.stats.vec_launches > 0, "engine never engaged"
+            assert ex_i.stats.vec_launches == 0
+
+
+# ----------------------------------------------------------------------
+# Fallback paths
+# ----------------------------------------------------------------------
+def rowsum_fun():
+    """Map body containing a Reduce: the plan must reject it."""
+    b = FunBuilder("rowsum")
+    b.size_param("n")
+    X = b.param("X", f32(n, n))
+    mp = b.map_(n, index="i")
+    row = mp.slice(X, [(mp.idx, 1, 1), (0, n, 1)])
+    s = mp.reduce("+", row)
+    mp.returns(s)
+    (out,) = mp.end()
+    b.returns(out)
+    return b.build()
+
+
+def lane_varying_loop_fun():
+    """Map body with a thread-dependent trip count (triangular loop)."""
+    b = FunBuilder("tri")
+    b.size_param("n")
+    X = b.param("X", f32(n))
+    mp = b.map_(n, index="i")
+    x0 = mp.index(X, [mp.idx])
+    lp = mp.loop(mp.idx, [("acc", x0)], index="j")
+    nxt = lp.binop("+", lp["acc"], lp["acc"])
+    lp.returns(nxt)
+    (acc,) = lp.end()
+    mp.returns(acc)
+    (out,) = mp.end()
+    b.returns(out)
+    return b.build()
+
+
+class TestFallback:
+    def test_reduce_body_falls_back(self):
+        fun = introduce_memory(rowsum_fun())
+        inputs = dict(n=5, X=np.arange(25, dtype=np.float32).reshape(5, 5))
+        ex_i, vals_i, ex_v, vals_v = run_tiers(fun, inputs)
+        assert ex_v.stats.vec_launches == 0
+        assert ex_v.stats.interp_launches > 0
+        assert_tier_equivalent(ex_i, vals_i, ex_v, vals_v)
+
+    def test_lane_varying_loop_count_falls_back(self):
+        fun = introduce_memory(lane_varying_loop_fun())
+        inputs = dict(n=6, X=np.arange(6, dtype=np.float32))
+        ex_i, vals_i, ex_v, vals_v = run_tiers(fun, inputs)
+        assert ex_v.stats.vec_launches == 0
+        assert ex_v.stats.interp_launches > 0
+        assert_tier_equivalent(ex_i, vals_i, ex_v, vals_v)
+
+    def test_debug_mode_forces_interpreted(self):
+        mod = importlib.import_module("repro.bench.programs.nw")
+        _, opt = compile_both(mod)
+        inputs = mod.inputs_for(*mod.TEST_DATASETS["tiny"])
+        ex = MemExecutor(opt.fun, debug=True)
+        ex.run(**{k: (v.copy() if hasattr(v, "copy") else v)
+                  for k, v in inputs.items()})
+        assert ex.stats.vec_launches == 0
+        assert ex.stats.interp_launches > 0
+
+    def test_vectorize_flag_off(self):
+        mod = importlib.import_module("repro.bench.programs.nw")
+        _, opt = compile_both(mod)
+        inputs = mod.inputs_for(*mod.TEST_DATASETS["tiny"])
+        ex = MemExecutor(opt.fun, vectorize=False)
+        ex.run(**{k: (v.copy() if hasattr(v, "copy") else v)
+                  for k, v in inputs.items()})
+        assert ex.stats.vec_launches == 0
+        assert ex.stats.vec_hit_rate == 0.0
+
+
+# ----------------------------------------------------------------------
+# Nested maps run in the composite lane space
+# ----------------------------------------------------------------------
+def nested_map_fun():
+    b = FunBuilder("outer_product")
+    b.size_param("n")
+    x = b.param("x", f32(n))
+    y = b.param("y", f32(n))
+    mo = b.map_(n, index="i")
+    xi = mo.index(x, [mo.idx])
+    mi = mo.map_(n, index="j")
+    yj = mi.index(y, [mi.idx])
+    p = mi.binop("*", xi, yj)
+    mi.returns(p)
+    (row,) = mi.end()
+    mo.returns(row)
+    (out,) = mo.end()
+    b.returns(out)
+    return b.build()
+
+
+class TestNestedMap:
+    def test_outer_product_vectorizes(self):
+        fun = introduce_memory(nested_map_fun())
+        x = np.arange(1, 7, dtype=np.float32)
+        y = np.arange(2, 8, dtype=np.float32)
+        inputs = dict(n=6, x=x, y=y)
+        ex_i, vals_i, ex_v, vals_v = run_tiers(fun, inputs)
+        assert ex_v.stats.vec_launches == 1
+        assert ex_v.stats.interp_launches == 0
+        assert_tier_equivalent(ex_i, vals_i, ex_v, vals_v)
+        got = np.asarray(materialize(ex_v, vals_v[0]))
+        assert np.array_equal(got, np.outer(x, y).reshape(got.shape))
+
+
+# ----------------------------------------------------------------------
+# The --json bench report
+# ----------------------------------------------------------------------
+class TestBenchJson:
+    def test_json_report_written(self, tmp_path, monkeypatch, capsys):
+        from repro.bench.__main__ import main
+
+        monkeypatch.chdir(tmp_path)
+        rc = main(["nn", "--quick", "--json"])
+        assert rc == 0
+        out_files = list((tmp_path / "benchmarks" / "results").glob("BENCH_*.json"))
+        assert len(out_files) == 1
+        import json
+
+        payload = json.loads(out_files[0].read_text())
+        assert payload["quick"] is True
+        entry = payload["benchmarks"]["nn"]
+        assert entry["validated"] is True
+        engine = entry["engine"]
+        assert engine["outputs_equal"] and engine["stats_equal"]
+        assert engine["vec_hit_rate"] > 0
+        assert engine["speedup"] > 1.0
+        assert entry["rows"], "simulated table rows missing"
