@@ -19,7 +19,10 @@ Checkers (each its own module, all driven by :func:`verify_fun`):
   consistent with actual uses, no block is referenced before its alloc;
 * :mod:`repro.analysis.races` -- R rules: in-place writes are provably
   disjoint from every non-dependent access that can observe them
-  (sequential clobbers, map cross-thread, loop cross-iteration).
+  (sequential clobbers, map cross-thread, loop cross-iteration);
+* :mod:`repro.analysis.frees` -- F rules: ``mem_frees`` lifetime
+  annotations (:mod:`repro.reuse`) never retire a block that is still
+  touched later, reachable from a result, or owned by an outer scope.
 
 Use ``python -m repro.analysis <benchmark>`` for a command-line report, or
 ``compile_fun(fun, verify=True)`` to run the verifier after each memory

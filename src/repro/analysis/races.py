@@ -17,7 +17,12 @@ splitting) for every pair that the program's own dataflow does not order:
   with *no* dataflow exemption;
 * **loop cross-iteration** (R03): a later iteration's access must not
   overlap an earlier iteration's write unless the value legitimately
-  flows there (the carried-dependence chain).
+  flows there (the carried-dependence chain).  The dataflow exemption is
+  *not* wholesale: a dependent read is the flow itself (RAW, ordered by
+  sequential execution), but a dependent write is exempt only under
+  distance-vector reasoning on the LMADs -- both regions must provably
+  shift by the same offset per iteration with index-invariant strides,
+  otherwise the pair falls through to the ordinary disjointness proof.
 
 Accesses whose region cannot be expressed as a single LMAD (composed
 index functions) are reported as R04 on shared blocks: the checker cannot
@@ -534,12 +539,34 @@ class RaceChecker:
                 NonOverlapChecker(Prover(lo), enable_splitting=True)
             )
         memo: Dict[Tuple[Lmad, Lmad], bool] = {}
+        dep_prover = Prover(ctx)
         for w in writes:
             for e in events:
                 if e.mem != w.mem:
                     continue
                 if not parallel and self.down.dependent(w.name, e.name):
-                    continue  # the carried dependence: value flows there
+                    # The carried dependence: the value legitimately
+                    # flows to the later iteration.  A dependent *read*
+                    # overlapping the earlier write is that flow itself
+                    # (RAW, ordered by sequential execution -- LUD's
+                    # triangular solves read the growing prefix earlier
+                    # iterations wrote).  A dependent *write*, though, is
+                    # exempt only when the two regions provably slide in
+                    # lockstep (equal per-iteration offset shift,
+                    # index-invariant strides; shapes may vary, e.g. NW's
+                    # growing diagonals): name-level dataflow does not
+                    # license a write whose overlap with the previous
+                    # iteration's write drifts -- exactly what an unsafe
+                    # rebase artifact looks like.  Pairs with unknown
+                    # regions keep the coarse exemption (nothing to
+                    # reason about); everything else falls through to the
+                    # disjointness proof like an independent pair.
+                    if w.lmad is None or e.lmad is None:
+                        continue
+                    if e.kind == "r":
+                        continue
+                    if self._slides_together(w.lmad, e.lmad, var, dep_prover):
+                        continue
                 if w.lmad is None or e.lmad is None:
                     self._flag_unknown(w if w.lmad is None else e)
                     continue
@@ -578,6 +605,28 @@ class RaceChecker:
                         f"disjoint from the {e.describe()} (at {e.loc}) "
                         f"when performed by {kind} ({var} != {var2})",
                     )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slides_together(
+        w: Lmad, e: Lmad, var: str, prover: Prover
+    ) -> bool:
+        """Distance-vector test for dependence-carried write pairs.
+
+        True when both regions move by the same provable offset per loop
+        iteration and neither's strides depend on the index: the pair's
+        overlap pattern is then iteration-invariant, so the value-flow
+        ordering covers every iteration if it covers one (the in-place
+        state update / double-buffer shape).
+        """
+        for l in (w, e):
+            for d in l.dims:
+                if var in d.stride.free_vars():
+                    return False
+        shift = {var: SymExpr.var(var) + 1}
+        dw = w.offset.substitute(shift) - w.offset
+        de = e.offset.substitute(shift) - e.offset
+        return prover.eq(dw, de)
 
     # ------------------------------------------------------------------
     def _aggregate(

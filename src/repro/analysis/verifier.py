@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.analysis.bounds import check_bounds
 from repro.analysis.diagnostics import Report
+from repro.analysis.frees import check_frees
 from repro.analysis.liveness import check_liveness
 from repro.analysis.races import check_races
 from repro.analysis.wellformed import check_wellformed
@@ -26,6 +27,7 @@ CHECKERS = (
     ("bounds", check_bounds),
     ("liveness", check_liveness),
     ("races", check_races),
+    ("frees", check_frees),
 )
 
 

@@ -18,8 +18,20 @@ import time
 import warnings
 from pathlib import Path
 
-from repro.bench.harness import compile_both, measure_engine, run_table
+from repro.bench.harness import (
+    compile_both,
+    measure_engine,
+    measure_footprint,
+    run_table,
+)
 from repro.bench.programs import all_benchmarks
+
+#: Committed reference for the peak-footprint regression gate: CI fails
+#: when a benchmark's optimized-pipeline peak (static estimate at the
+#: PERF_DATASETS size) exceeds the recorded value.  Regenerate with
+#: ``python -m repro.bench --write-footprint-baseline`` after a change
+#: that legitimately alters the footprint.
+FOOTPRINT_BASELINE = Path("benchmarks") / "results" / "footprint_baseline.json"
 
 #: Scaled-down datasets for --quick runs (same code paths, small sizes).
 QUICK_DATASETS = {
@@ -62,6 +74,10 @@ def main(argv=None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="measure executor tiers and write a "
                              "benchmarks/results/BENCH_<ts>.json report")
+    parser.add_argument("--write-footprint-baseline", action="store_true",
+                        help="record current peak footprints as the "
+                             "regression baseline "
+                             "(benchmarks/results/footprint_baseline.json)")
     args = parser.parse_args(argv)
 
     registry = all_benchmarks()
@@ -78,6 +94,10 @@ def main(argv=None) -> int:
 
     failed = []
     tier_failed = []
+    footprint_failed = []
+    baseline = {}
+    if FOOTPRINT_BASELINE.exists():
+        baseline = json.loads(FOOTPRINT_BASELINE.read_text())
     results = {}
     for name in names:
         module = registry[name]
@@ -105,6 +125,17 @@ def main(argv=None) -> int:
         if report.validation_ran and not report.validated:
             failed.append(name)
 
+        footprint = measure_footprint(module, PERF_DATASETS[name], compiled)
+        opt_fp = footprint["opt"]
+        print(f"footprint (opt): peak {opt_fp['peak_bytes']:,} / "
+              f"naive {opt_fp['naive_bytes']:,} bytes "
+              f"({opt_fp['saving']:.0%} saved)")
+        recorded = baseline.get(name, {}).get("opt_peak_bytes")
+        if recorded is not None and opt_fp["peak_bytes"] > recorded:
+            print(f"FOOTPRINT REGRESSION: peak {opt_fp['peak_bytes']:,} "
+                  f"exceeds baseline {recorded:,}", file=sys.stderr)
+            footprint_failed.append(name)
+
         engine = None
         if args.json:
             engine = measure_engine(module, PERF_DATASETS[name], compiled)
@@ -113,10 +144,12 @@ def main(argv=None) -> int:
                   f"{engine['speedup']:.1f}x  "
                   f"(hit rate {engine['vec_hit_rate']:.2f})")
             if not (engine["outputs_equal"] and engine["stats_equal"]
-                    and engine["vec_hit_rate"] > 0):
+                    and engine["vec_hit_rate"] > 0
+                    and engine["footprint_equal"]):
                 tier_failed.append(name)
 
         results[name] = {
+            "footprint": footprint,
             "validated": report.validated,
             "validation_ran": report.validation_ran,
             "table_wall_s": table_s,
@@ -141,6 +174,20 @@ def main(argv=None) -> int:
         }
         print()
 
+    if args.write_footprint_baseline:
+        FOOTPRINT_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            name: {
+                "dataset": results[name]["footprint"]["dataset"],
+                "opt_peak_bytes": results[name]["footprint"]["opt"]["peak_bytes"],
+                "opt_naive_bytes": results[name]["footprint"]["opt"]["naive_bytes"],
+                "unopt_peak_bytes": results[name]["footprint"]["unopt"]["peak_bytes"],
+            }
+            for name in results
+        }
+        FOOTPRINT_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {FOOTPRINT_BASELINE}")
+
     if args.json:
         ts = time.strftime("%Y%m%d-%H%M%S")
         out_dir = Path("benchmarks") / "results"
@@ -159,6 +206,10 @@ def main(argv=None) -> int:
         return 1
     if tier_failed:
         print(f"EXECUTOR TIER CHECK FAILED: {', '.join(tier_failed)}",
+              file=sys.stderr)
+        return 1
+    if footprint_failed:
+        print(f"FOOTPRINT REGRESSION: {', '.join(footprint_failed)}",
               file=sys.stderr)
         return 1
     return 0

@@ -29,6 +29,7 @@ from repro.compiler import CompiledFun, compile_fun
 from repro.gpu import A100, MI100, CostModel, Device
 from repro.mem.exec import MemExecutor, RuntimeArray
 from repro.mem.stats import ExecStats
+from repro.reuse import estimate_peak
 
 
 @dataclass
@@ -145,6 +146,7 @@ def measure_engine(module, args: Sequence, compiled=None) -> Dict[str, object]:
         )
         for a, b in zip(vals_i, vals_v)
     )
+    est = estimate_peak(opt.fun, inp)
     return {
         "dataset": list(args),
         "interp_s": interp_s,
@@ -155,7 +157,41 @@ def measure_engine(module, args: Sequence, compiled=None) -> Dict[str, object]:
         "interp_launches": ex_v.stats.interp_launches,
         "outputs_equal": outputs_equal,
         "stats_equal": ex_i.stats.signature() == ex_v.stats.signature(),
+        # Peak allocation footprint: both real tiers' runtime high-water
+        # marks and the static estimator must agree exactly.
+        "peak_bytes_interp": ex_i.stats.peak_bytes,
+        "peak_bytes_vec": ex_v.stats.peak_bytes,
+        "peak_bytes_est": est.peak_bytes,
+        "naive_bytes": est.naive_bytes,
+        "footprint_equal": (
+            ex_i.stats.peak_bytes
+            == ex_v.stats.peak_bytes
+            == est.peak_bytes
+        ),
     }
+
+
+def measure_footprint(module, args: Sequence, compiled=None) -> Dict[str, object]:
+    """Static peak-footprint estimates for both pipelines on one dataset.
+
+    Uses :func:`repro.reuse.footprint.estimate_peak` only (no execution);
+    ``measure_engine`` separately checks the estimator against both real
+    executor tiers' high-water marks.
+    """
+    unopt, opt = compiled if compiled is not None else compile_both(module)
+    inp = module.inputs_for(*args)
+    out: Dict[str, object] = {"dataset": list(args)}
+    for label, c in (("unopt", unopt), ("opt", opt)):
+        est = estimate_peak(c.fun, inp)
+        out[label] = {
+            "peak_bytes": est.peak_bytes,
+            "naive_bytes": est.naive_bytes,
+            "param_bytes": est.param_bytes,
+            "alloc_bytes": est.alloc_bytes,
+            "alloc_count": est.alloc_count,
+            "saving": est.saving,
+        }
+    return out
 
 
 def _reference_of(module, args, inp) -> List[np.ndarray]:

@@ -8,7 +8,13 @@ Mirrors the relevant slice of the Futhark pipeline the paper extends:
 4. allocation hoisting (:mod:`repro.mem.hoist`);
 5. **array short-circuiting** (:mod:`repro.opt.shortcircuit`) -- optional,
    so the unoptimized pipeline is the paper's "Unopt. Futhark" baseline;
-6. dead-allocation cleanup.
+6. dead-allocation cleanup;
+7. **memory reuse** (:mod:`repro.reuse`) -- optional: coalesces
+   allocations with provably disjoint live ranges (another
+   dead-allocation sweep drops the merged-away ``alloc`` statements),
+   then annotates every statement with the blocks whose host-level
+   lifetime ends there (``Let.mem_frees``), which is what the executor's
+   peak-footprint accounting and the static estimator consume.
 
 With ``verify=True`` the :mod:`repro.analysis` verifier re-checks the IR
 after memory introduction, after hoisting + last-use analysis, and after
@@ -41,6 +47,8 @@ class CompiledFun:
     fun: A.Fun
     short_circuited: bool
     sc_stats: Optional[ShortCircuitStats]
+    #: What the memory-reuse coalescer did (None when reuse=False).
+    reuse_stats: Optional["object"] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     #: stage name -> verifier report, populated when compiled with verify=True
     verify_reports: Dict[str, "object"] = field(default_factory=dict)
@@ -60,6 +68,7 @@ def compile_fun(
     enable_splitting: bool = True,
     typecheck: bool = True,
     verify: bool = False,
+    reuse: bool = True,
 ) -> CompiledFun:
     """Run the full pipeline on a source function (which is not mutated).
 
@@ -67,6 +76,10 @@ def compile_fun(
     memory-transforming stage and raises
     :class:`~repro.analysis.VerificationError` on the first stage whose
     output has errors, identifying the pass that broke the program.
+
+    ``reuse=False`` disables allocation coalescing and the ``mem_frees``
+    lifetime annotations; the differential tests compare against it to
+    pin that reuse never changes outputs or traffic.
     """
     stages: Dict[str, float] = {}
     reports: Dict[str, object] = {}
@@ -102,4 +115,15 @@ def compile_fun(
         )
         timed("dead_allocs", lambda: remove_dead_allocations(mfun))
         checked("short_circuit", mfun)
-    return CompiledFun(mfun, short_circuit, sc_stats, stages, reports)
+    reuse_stats = None
+    if reuse:
+        from repro.reuse import annotate_frees, reuse_allocations
+
+        reuse_stats = timed("reuse", lambda: reuse_allocations(mfun))
+        if reuse_stats.mapping:
+            timed("dead_allocs[reuse]", lambda: remove_dead_allocations(mfun))
+        timed("annotate_frees", lambda: annotate_frees(mfun))
+        checked("reuse", mfun)
+    return CompiledFun(
+        mfun, short_circuit, sc_stats, reuse_stats, stages, reports
+    )

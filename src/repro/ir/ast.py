@@ -391,6 +391,11 @@ class Let:
     pattern: List[PatElem]
     exp: Exp
     last_uses: frozenset = field(default_factory=frozenset)
+    #: Memory blocks whose lifetime ends at this statement, filled by
+    #: :mod:`repro.reuse.liveranges`.  Pure accounting for the executor's
+    #: high-water mark -- like ``mem`` annotations, deletable without
+    #: changing program semantics.
+    mem_frees: Tuple[str, ...] = ()
 
     @property
     def names(self) -> Tuple[str, ...]:

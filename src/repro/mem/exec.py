@@ -142,6 +142,19 @@ class MemExecutor:
         self.stats = ExecStats()
         self._kernel_stack: List[KernelStat] = []
         self._alloc_counter = 0
+        # Live-allocation accounting (the runtime high-water mark that
+        # repro.reuse.footprint predicts statically).  Lifetimes follow
+        # the Let.mem_frees annotations at host level; blocks allocated
+        # inside a kernel die wholesale when the outermost map ends; and
+        # blocks born inside a host loop die at each iteration's end
+        # unless the carried state still reaches them.
+        self._live_bytes = 0
+        self._peak_bytes = 0
+        self._live_insts: Dict[str, int] = {}  # unique name -> nbytes
+        self._static_live: Dict[str, List[str]] = {}  # static -> uniques
+        self._alloc_log: List[Tuple[str, str]] = []  # (static, unique)
+        self._kernel_allocs: List[Tuple[str, str]] = []
+        self._kernel_baseline = 0
         # Blocks allocated inside a kernel are thread-local (the GPU's
         # shared memory / registers): traffic to them is not DRAM traffic.
         self._local_mems: set = set()
@@ -168,6 +181,7 @@ class MemExecutor:
                     raise InterpError(f"missing input {p.name!r}")
                 env[p.name] = inputs[p.name]
         values = self.run_block(self.fun.body, env)
+        self.stats.peak_bytes = self._peak_bytes
         return values, self.stats
 
     def _bind_input_array(self, p: A.Param, inputs, env) -> None:
@@ -190,11 +204,16 @@ class MemExecutor:
                 ):
                     env[fv[0]] = int(extent)
             self.mem[mem] = arr.reshape(-1).copy()
+            size = arr.size
             if self.debug:
                 self._shadow[mem] = np.ones(arr.size, dtype=bool)
         else:
             size = eval_sym(t.size(), env)
             self.mem[mem] = size
+        # Input blocks are live for the whole run (never freed).
+        self._live_bytes += size * DTYPE_INFO[t.dtype][1]
+        if self._live_bytes > self._peak_bytes:
+            self._peak_bytes = self._live_bytes
         ixfn = self._instantiate(IndexFn.row_major(t.shape), env)
         env[p.name] = RuntimeArray(mem, ixfn, t.dtype)
 
@@ -222,6 +241,32 @@ class MemExecutor:
         if name not in self.mem:
             raise InterpError(f"unknown memory block {name!r}")
         return name
+
+    # ------------------------------------------------------------------
+    # Footprint accounting
+    # ------------------------------------------------------------------
+    def _note_alloc(self, static: str, unique: str, nbytes: int) -> None:
+        self._live_bytes += nbytes
+        if self._live_bytes > self._peak_bytes:
+            self._peak_bytes = self._live_bytes
+        self._live_insts[unique] = nbytes
+        self._static_live.setdefault(static, []).append(unique)
+        self._alloc_log.append((static, unique))
+        if self._kernel_stack:
+            self._kernel_allocs.append((static, unique))
+
+    def _note_free_unique(self, static: str, unique: str) -> None:
+        nbytes = self._live_insts.pop(unique, None)
+        if nbytes is None:
+            return
+        self._live_bytes -= nbytes
+        lst = self._static_live.get(static)
+        if lst and unique in lst:
+            lst.remove(unique)
+
+    def _note_free_static(self, static: str) -> None:
+        for unique in list(self._static_live.get(static, ())):
+            self._note_free_unique(static, unique)
 
     def _binding_value(
         self, pe: A.PatElem, env: Mapping[str, object]
@@ -366,6 +411,11 @@ class MemExecutor:
     def run_block(self, block: A.Block, env: Dict[str, object]) -> List[object]:
         for stmt in block.stmts:
             self.exec_stmt(stmt, env)
+            if stmt.mem_frees and not self._kernel_stack:
+                # Host-level lifetime ends (repro.reuse.liveranges);
+                # inside a kernel, blocks die at the outermost map's end.
+                for m in stmt.mem_frees:
+                    self._note_free_static(m)
         return [self._resolve_result(r, env) for r in block.result]
 
     def _resolve_result(self, name: str, env: Dict[str, object]):
@@ -397,6 +447,7 @@ class MemExecutor:
             env[name] = MemRef(unique)
             self.stats.alloc_count += 1
             self.stats.alloc_bytes += size * DTYPE_INFO[exp.dtype][1]
+            self._note_alloc(name, unique, size * DTYPE_INFO[exp.dtype][1])
             return
 
         if isinstance(exp, (A.Lit, A.ScalarE, A.BinOp, A.UnOp)):
@@ -605,6 +656,8 @@ class MemExecutor:
         ks = self._kernel(stmt, "map", f"map:{'/'.join(stmt.names)}")
         if not nested:
             ks.launches += 1
+            self._kernel_baseline = self._live_bytes
+            self._kernel_allocs = []
 
         def run_thread(i: int) -> None:
             child = dict(env)
@@ -653,14 +706,31 @@ class MemExecutor:
                     self.stats = sub
                     sub_ks = sub.kernel(id(stmt), "map", ks.label)
                     self._kernel_stack.append(sub_ks)
+                    live_before = self._live_bytes
                     try:
                         run_thread(width // 2)
                     finally:
                         self._kernel_stack.pop()
                         self.stats = outer_stats
+                    # Every thread's scratch coexists for the kernel's
+                    # duration: scale the representative thread's growth.
+                    growth = self._live_bytes - live_before
+                    self._live_bytes += growth * (width - 1)
+                    if self._live_bytes > self._peak_bytes:
+                        self._peak_bytes = self._live_bytes
                     self.stats.merge_scaled(sub, width)
         finally:
             self._kernel_stack.pop()
+            if not nested:
+                # Kernel scratch dies wholesale at the outermost map's
+                # end (per-thread arrays have no host-visible lifetime).
+                for static, unique in self._kernel_allocs:
+                    self._live_insts.pop(unique, None)
+                    lst = self._static_live.get(static)
+                    if lst and unique in lst:
+                        lst.remove(unique)
+                self._kernel_allocs = []
+                self._live_bytes = self._kernel_baseline
 
         for pe, dest in zip(stmt.pattern, dests):
             env[pe.name] = dest
@@ -696,6 +766,7 @@ class MemExecutor:
             self.stats = sub
             proxy = sub.kernel(cur.key[0], cur.key[1], cur.label)
             self._kernel_stack.append(proxy)
+            live_before = self._live_bytes
             try:
                 self._run_loop_iterations(
                     iterations, stmt, exp, env, state, param_bindings
@@ -704,6 +775,12 @@ class MemExecutor:
                 self._kernel_stack.pop()
                 self.stats = outer_stats
                 self.stats.merge_scaled(sub, scale)
+                # Extrapolate the sampled iterations' allocation growth
+                # the same way merge_scaled extrapolates their traffic.
+                growth = self._live_bytes - live_before
+                self._live_bytes = live_before + int(growth * scale)
+                if self._live_bytes > self._peak_bytes:
+                    self._peak_bytes = self._live_bytes
         else:
             self._run_loop_iterations(
                 iterations, stmt, exp, env, state, param_bindings
@@ -713,6 +790,7 @@ class MemExecutor:
     def _run_loop_iterations(
         self, iterations, stmt, exp, env, state, param_bindings
     ) -> None:
+        free_mark = len(self._alloc_log)
         for it in iterations:
             child = dict(env)
             child[exp.index] = it
@@ -732,6 +810,27 @@ class MemExecutor:
                     child[prm.name] = val
             new_state = self.run_block(exp.body, child)
             state[:] = new_state
+            if not self._kernel_stack:
+                # Blocks born inside a host loop die at the iteration's
+                # end unless the carried state still reaches them (the
+                # double-buffering rotation keeps exactly the live pair).
+                reachable = set()
+                for val in state:
+                    if isinstance(val, RuntimeArray):
+                        reachable.add(val.mem)
+                    elif isinstance(val, MemRef):
+                        n, seen = val.name, set()
+                        while (
+                            n in child
+                            and isinstance(child[n], MemRef)
+                            and n not in seen
+                        ):
+                            seen.add(n)
+                            n = child[n].name
+                        reachable.add(n)
+                for static, unique in self._alloc_log[free_mark:]:
+                    if unique in self._live_insts and unique not in reachable:
+                        self._note_free_unique(static, unique)
 
     # ------------------------------------------------------------------
     def _bind_compound_results(self, stmt: A.Let, vals: List[object], env) -> None:

@@ -18,10 +18,10 @@ short-circuiting re-homes arrays into their destination memory.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import Dict, List, Set
 
 from repro.ir import ast as A
-from repro.mem.memir import binding_of, iter_stmts
+from repro.mem.memir import MemBinding, binding_of, iter_stmts
 
 
 def hoist_allocations(fun: A.Fun) -> int:
@@ -64,6 +64,51 @@ def hoist_allocations(fun: A.Fun) -> int:
 
     process(fun.body, {p.name for p in fun.params})
     return moved
+
+
+def rewrite_mem_bindings(fun: A.Fun, mapping: Dict[str, str]) -> int:
+    """Re-home every binding on a merged-away block to its survivor.
+
+    Coalescing (``repro.reuse``) replaces blocks wholesale, so a stale
+    ``MemBinding`` naming a merged-away block would read memory nothing
+    allocates.  This rewrites pattern bindings, loop ``param_bindings``,
+    and block results that carry existential memory by name; returns how
+    many references changed.  Chains in ``mapping`` are resolved.
+    """
+
+    def resolve(m: str) -> str:
+        seen: Set[str] = set()
+        while m in mapping and m not in seen:
+            seen.add(m)
+            m = mapping[m]
+        return m
+
+    changed = 0
+    for stmt in iter_stmts(fun.body):
+        for pe in stmt.pattern:
+            b = binding_of(pe) if pe.mem is not None else None
+            if b is not None and b.mem in mapping:
+                pe.mem = MemBinding(resolve(b.mem), b.ixfn)
+                changed += 1
+        if isinstance(stmt.exp, A.Loop):
+            pb = getattr(stmt.exp.body, "param_bindings", None)
+            if pb:
+                for prm, b in list(pb.items()):
+                    if b.mem in mapping:
+                        pb[prm] = MemBinding(resolve(b.mem), b.ixfn)
+                        changed += 1
+
+    def fix_results(block: A.Block) -> None:
+        nonlocal changed
+        if any(r in mapping for r in block.result):
+            block.result = tuple(resolve(r) for r in block.result)
+            changed += 1
+        for stmt in block.stmts:
+            for blk in A.sub_blocks(stmt.exp):
+                fix_results(blk)
+
+    fix_results(fun.body)
+    return changed
 
 
 def remove_dead_allocations(fun: A.Fun) -> int:

@@ -53,6 +53,15 @@ class ExecStats:
     elided_bytes: int = 0
     alloc_bytes: int = 0
     alloc_count: int = 0
+    #: High-water mark of live allocation bytes (input blocks plus
+    #: allocations whose lifetime has not ended), maintained by the
+    #: executor's lifetime model (``mem_frees`` annotations, kernel-end
+    #: frees, loop-iteration reachability).  Excluded from
+    #: :meth:`signature` and :meth:`merge_scaled`: it is a property of
+    #: the whole run, set once at the end, not a mergeable counter --
+    #: and programs compiled with and without ``mem_frees`` annotations
+    #: must still be signature-equal.
+    peak_bytes: int = 0
     #: Execution-tier counters (real mode): how many ``map`` statement
     #: executions ran on the vectorized engine vs the interpreted
     #: fallback.  Pure wall-clock bookkeeping -- excluded from
@@ -139,6 +148,16 @@ class ExecStats:
             self.alloc_bytes,
             self.alloc_count,
         )
+
+    def traffic_signature(self) -> tuple:
+        """:meth:`signature` minus the allocation counters.
+
+        Memory reuse (:mod:`repro.reuse`) merges allocations, so runs
+        with and without it agree on traffic, flops and launches but not
+        on ``alloc_bytes``/``alloc_count``; the differential tests pin
+        exactly that.
+        """
+        return self.signature()[:3]
 
     def copy_traffic(self) -> int:
         """Bytes moved by pure data-movement kernels (copy/update/concat)."""

@@ -419,6 +419,9 @@ class _VecRun:
             venv[stmt.names[0]] = MemRef(unique)
             ex.stats.alloc_count += W
             ex.stats.alloc_bytes += W * size * DTYPE_INFO[exp.dtype][1]
+            # One W-lane buffer stands for W per-thread blocks: same live
+            # bytes as the interpreted tier's per-thread allocations.
+            ex._note_alloc(stmt.names[0], unique, W * size * DTYPE_INFO[exp.dtype][1])
             return
 
         if isinstance(exp, (A.Lit, A.ScalarE, A.BinOp, A.UnOp)):

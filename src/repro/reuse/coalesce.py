@@ -1,0 +1,189 @@
+"""Linear-scan coalescing of non-interfering memory blocks.
+
+Walks every IR block and, for each allocation in first-touch order, tries
+to re-home it into an earlier allocation of the same block whose live
+range has already ended (no interference-graph edge).  The size relation
+must be *provable* with :class:`repro.symbolic.Prover` under the block's
+context (function assumptions + enclosing loop/map index ranges + local
+scalar definitions):
+
+* candidate <= survivor: the block simply fits;
+* survivor <= candidate: the surviving ``alloc`` is widened to the
+  candidate's size -- the max of the two, made explicit in the IR -- but
+  only when every free variable of the new size is in scope at the
+  surviving alloc's position;
+* neither provable: the merge is rejected (``size`` in the stats), even
+  if the sizes happen to coincide at run time.
+
+Merging never crosses a block boundary, so per-iteration loop buffers
+stay distinct (same soundness argument as :mod:`repro.mem.hoist`).  The
+pass records a ``candidate -> survivor`` mapping and rewrites every
+binding through :func:`repro.mem.hoist.rewrite_mem_bindings`; the
+orphaned ``alloc`` statements are dropped by a following
+``remove_dead_allocations`` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import ast as A
+from repro.mem.hoist import rewrite_mem_bindings
+from repro.reuse.interference import AllocNode, InterferenceGraph
+from repro.reuse.liveranges import LiveRanges
+from repro.symbolic import Context, Prover, SymExpr, sym
+
+
+@dataclass
+class ReuseStats:
+    """What the coalescer did, and why candidates were passed over."""
+
+    merged: int = 0
+    widened: int = 0
+    #: reason -> count for candidates that found no donor
+    rejected: Dict[str, int] = field(default_factory=dict)
+    #: (survivor, candidate, "equal" | "fits" | "widened")
+    records: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: candidate -> survivor, after chain resolution
+    mapping: Dict[str, str] = field(default_factory=dict)
+
+    def reject(self, reason: str) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+
+def _operand_expr(op) -> SymExpr:
+    return SymExpr.var(op) if isinstance(op, str) else sym(op)
+
+
+class _Coalescer:
+    def __init__(self, fun: A.Fun):
+        self.fun = fun
+        self.ranges = LiveRanges(fun)
+        self.stats = ReuseStats()
+
+    def run(self) -> ReuseStats:
+        self._block(
+            self.fun.body,
+            self.fun.build_context(),
+            {p.name for p in self.fun.params},
+        )
+        if self.stats.mapping:
+            rewrite_mem_bindings(self.fun, self.stats.mapping)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _block(self, block: A.Block, ctx: Context, outer: Set[str]) -> None:
+        ctx = ctx.extended()
+        # Scalar equalities anywhere in the block are facts for the whole
+        # block (SSA names), so collect them before scanning for merges.
+        for stmt in block.stmts:
+            exp = stmt.exp
+            if isinstance(exp, A.ScalarE):
+                ctx.define(stmt.names[0], exp.expr)
+            elif isinstance(exp, A.Lit) and exp.dtype == "i64":
+                ctx.define(stmt.names[0], int(exp.value))
+        self._coalesce_block(block, ctx, outer)
+
+        defined = set(outer)
+        for stmt in block.stmts:
+            exp = stmt.exp
+            if isinstance(exp, A.Map):
+                mctx = ctx.extended()
+                width = _operand_expr(exp.width)
+                mctx.assume_range(exp.lam.params[0], 0, width - 1)
+                self._block(
+                    exp.lam.body, mctx, defined | set(exp.lam.params)
+                )
+            elif isinstance(exp, A.Loop):
+                lctx = ctx.extended()
+                count = _operand_expr(exp.count)
+                lctx.assume_range(exp.index, 0, count - 1)
+                bound = {exp.index} | {p.name for p, _ in exp.carried}
+                self._block(exp.body, lctx, defined | bound)
+            elif isinstance(exp, A.If):
+                self._block(exp.then_block, ctx, set(defined))
+                self._block(exp.else_block, ctx, set(defined))
+            defined |= set(stmt.names)
+
+    # ------------------------------------------------------------------
+    def _coalesce_block(
+        self, block: A.Block, ctx: Context, outer: Set[str]
+    ) -> None:
+        graph = InterferenceGraph(
+            block, self.ranges.of_block(block)
+        )
+        scan = graph.ordered()
+        if len(scan) < 2:
+            return
+        prover = Prover(ctx)
+        # Names defined before each statement, for the widening scope check.
+        prefix: List[Set[str]] = []
+        defined = set(outer)
+        for stmt in block.stmts:
+            prefix.append(set(defined))
+            defined |= set(stmt.names)
+
+        pool: List[AllocNode] = []
+        for node in scan:
+            donor = self._find_donor(node, pool, prover, prefix)
+            if donor is None:
+                pool.append(node)
+                continue
+            self.stats.mapping[node.mem] = donor.mem
+            # The survivor inherits the candidate's remaining lifetime.
+            donor.end = node.end
+
+    def _find_donor(
+        self,
+        node: AllocNode,
+        pool: List[AllocNode],
+        prover: Prover,
+        prefix: List[Set[str]],
+    ) -> Optional[AllocNode]:
+        saw_free = False
+        for donor in sorted(pool, key=lambda n: n.pos):
+            if InterferenceGraph.interferes(donor, node):
+                continue
+            if donor.dtype != node.dtype:
+                saw_free = True
+                self.stats.reject("dtype")
+                continue
+            mode = self._size_mode(donor, node, prover, prefix)
+            if mode is None:
+                saw_free = True
+                self.stats.reject("size")
+                continue
+            if mode == "widened":
+                donor.stmt.exp = A.Alloc(node.size, donor.dtype)
+                self.stats.widened += 1
+            self.stats.merged += 1
+            self.stats.records.append((donor.mem, node.mem, mode))
+            return donor
+        if pool and not saw_free:
+            self.stats.reject("interference")
+        return None
+
+    def _size_mode(
+        self,
+        donor: AllocNode,
+        node: AllocNode,
+        prover: Prover,
+        prefix: List[Set[str]],
+    ) -> Optional[str]:
+        if prover.eq(node.size, donor.size):
+            return "equal"
+        if prover.le(node.size, donor.size):
+            return "fits"
+        if prover.le(donor.size, node.size) and node.size.free_vars() <= (
+            prefix[donor.pos]
+        ):
+            # max(donor, candidate) == candidate, provably: widening the
+            # surviving alloc to the candidate's size covers both.
+            return "widened"
+        return None
+
+
+def reuse_allocations(fun: A.Fun) -> ReuseStats:
+    """Coalesce provably non-overlapping allocations of ``fun`` in place."""
+    return _Coalescer(fun).run()

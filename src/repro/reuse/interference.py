@@ -1,0 +1,78 @@
+"""Interference graph over the blocks allocated in one IR block.
+
+Two blocks *interfere* when their live ranges overlap: neither dies
+before the other's first touch.  Ranges are statement intervals at the
+allocating block's own nesting level (:class:`repro.reuse.liveranges
+.BlockLiveness`); an escaping block's range is open-ended.  Only blocks
+allocated in the *same* IR block are ever compared -- a block allocated
+inside a ``loop`` body is a fresh buffer every iteration, so merging it
+with anything outside the body would alias per-iteration instances that
+double-buffering requires distinct (the same boundary
+:mod:`repro.mem.hoist` refuses to move allocations across).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ir import ast as A
+from repro.reuse.liveranges import BlockLiveness
+from repro.symbolic import SymExpr
+
+
+@dataclass
+class AllocNode:
+    """One allocation at this block level, with its live range."""
+
+    mem: str
+    stmt: A.Let  # the alloc statement (mutated in place on widening)
+    pos: int  # statement index of the alloc
+    first: Optional[int]  # first touch; None when the block is never used
+    end: Optional[int]  # last touch; None when live to the block's end
+
+    @property
+    def size(self) -> SymExpr:
+        assert isinstance(self.stmt.exp, A.Alloc)
+        return self.stmt.exp.size
+
+    @property
+    def dtype(self) -> str:
+        assert isinstance(self.stmt.exp, A.Alloc)
+        return self.stmt.exp.dtype
+
+
+class InterferenceGraph:
+    """Live-range overlap between same-block allocations."""
+
+    def __init__(self, block: A.Block, liveness: BlockLiveness):
+        self.nodes: Dict[str, AllocNode] = {}
+        for i, stmt in enumerate(block.stmts):
+            if not isinstance(stmt.exp, A.Alloc):
+                continue
+            mem = stmt.names[0]
+            self.nodes[mem] = AllocNode(
+                mem=mem,
+                stmt=stmt,
+                pos=i,
+                first=liveness.first.get(mem),
+                end=liveness.end_of(mem),
+            )
+
+    def ordered(self) -> List[AllocNode]:
+        """Live nodes in order of first touch (the linear-scan order)."""
+        used = [n for n in self.nodes.values() if n.first is not None]
+        return sorted(used, key=lambda n: (n.first, n.pos))
+
+    @staticmethod
+    def interferes(a: AllocNode, b: AllocNode) -> bool:
+        """Do the two live ranges overlap?
+
+        A dead block (no touches) interferes with nothing; an escaping
+        block (open range) interferes with everything that starts at or
+        after its first touch.
+        """
+        if a.first is None or b.first is None:
+            return False
+        lo, hi = (a, b) if a.first <= b.first else (b, a)
+        return lo.end is None or lo.end >= hi.first

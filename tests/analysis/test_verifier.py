@@ -123,6 +123,114 @@ def test_r02_threads_share_an_element(compiled_simple):
     assert "R02" in report.rules_fired()
 
 
+# ----------------------------------------------------------------------
+# Dependence distance (R03 refinement)
+# ----------------------------------------------------------------------
+def _carried_update_loop(drift: bool) -> A.Fun:
+    """A loop doing two in-place point updates on its carried array: one
+    at ``i`` and one at ``2*i`` (drifting) or ``i`` again (lockstep)."""
+    from repro.ir import FunBuilder, f32
+    from repro.symbolic import Var
+
+    b = FunBuilder("wr")
+    k = b.size_param("k")
+    b.assume_lower("k", 1)
+    x = b.param("x", f32(Var("n")))
+    b.assume_lower("n", 1)
+    lp = b.loop(count=k, carried=[("Xc", x)], index="i")
+    v = lp.lit(1.0)
+    X2 = lp.update_point(lp["Xc"], [lp.idx], v)
+    X3 = lp.update_point(X2, [2 * lp.idx if drift else lp.idx], v)
+    lp.returns(X3)
+    (Xf,) = lp.end()
+    b.returns(Xf)
+    return b.build()
+
+
+def test_r03_lockstep_dependent_writes_exempt():
+    # Both writes shift by one element per iteration: the overlap
+    # pattern is iteration-invariant, covered by the carried flow.
+    fun = compile_fun(_carried_update_loop(drift=False), verify=False).fun
+    report = verify_fun(fun)
+    assert report.ok(), report.render()
+
+
+def test_r03_drifting_dependent_write_flagged():
+    # The second write slides at twice the rate of the first: name-level
+    # dataflow alone no longer licenses the overlap.
+    fun = compile_fun(_carried_update_loop(drift=True), verify=False).fun
+    report = verify_fun(fun)
+    assert "R03" in report.rules_fired()
+
+
+def test_slides_together_distance_vectors():
+    from repro.analysis.races import RaceChecker
+    from repro.symbolic import Context, Prover
+
+    prover = Prover(Context())
+    i = SymExpr.var("i")
+    four = SymExpr.const(4)
+    row = lambda off: lmad(off, [(four, SymExpr.const(1))])
+    assert RaceChecker._slides_together(row(i * 8), row(i * 8 + 2), "i", prover)
+    assert not RaceChecker._slides_together(row(i * 8), row(i * 4), "i", prover)
+    # Index-dependent stride: the region's shape changes per iteration.
+    skewed = lmad(i * 8, [(four, i + 1)])
+    assert not RaceChecker._slides_together(skewed, row(i * 8), "i", prover)
+
+
+# ----------------------------------------------------------------------
+# Free annotations
+# ----------------------------------------------------------------------
+def _consumed_map_fun() -> A.Fun:
+    """``X = map 2*x; s = reduce X; return s`` -- X's block is freed at
+    the reduce (its last touch) by the pipeline's annotation pass."""
+    from repro.ir import FunBuilder, f32
+    from repro.symbolic import Var
+
+    b = FunBuilder("consumed")
+    n = Var("n")
+    x = b.param("x", f32(n))
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(x, [mp.idx]), 2.0))
+    (X,) = mp.end()
+    s = b.reduce("+", X)
+    b.returns(s)
+    return b.build()
+
+
+def test_f01_free_before_later_touch():
+    fun = compile_fun(_consumed_map_fun(), short_circuit=False).fun
+    freeing = find_stmt(fun, lambda s: s.mem_frees)
+    mem = freeing.mem_frees[0]
+    freeing.mem_frees = ()
+    map_stmt(fun).mem_frees = (mem,)  # freed while the reduce still reads
+    report = verify_fun(fun)
+    assert "F01" in report.rules_fired()
+
+
+def test_f01_free_of_result_reachable_block(compiled_simple):
+    # simple_fun returns X: its block escapes and must never be freed.
+    pe = array_pat(map_stmt(compiled_simple))
+    map_stmt(compiled_simple).mem_frees = (binding_of(pe).mem,)
+    report = verify_fun(compiled_simple)
+    assert "F01" in report.rules_fired()
+
+
+def test_f02_free_of_unallocated_param_block(compiled_simple):
+    stmt = compiled_simple.body.stmts[-1]
+    stmt.mem_frees = (param_mem_name("x"),)
+    report = verify_fun(compiled_simple)
+    assert "F02" in report.rules_fired()
+
+
+def test_f02_free_of_outer_block_inside_kernel(compiled_simple):
+    pe = array_pat(map_stmt(compiled_simple))
+    body = map_stmt(compiled_simple).exp.lam.body
+    body.stmts[-1].mem_frees = (binding_of(pe).mem,)
+    report = verify_fun(compiled_simple)
+    assert "F02" in report.rules_fired()
+
+
 def test_verify_option_raises_on_broken_pass(monkeypatch):
     """compile_fun(verify=True) turns verifier errors into exceptions."""
     from repro.analysis import VerificationError
@@ -148,6 +256,6 @@ def test_verify_option_raises_on_broken_pass(monkeypatch):
 def test_verify_option_clean_program_keeps_reports():
     cf = compile_fun(simple_fun(), verify=True)
     assert set(cf.verify_reports) == {
-        "introduce_memory", "hoist+last_use", "short_circuit"
+        "introduce_memory", "hoist+last_use", "short_circuit", "reuse"
     }
     assert all(r.ok() for r in cf.verify_reports.values())

@@ -1,0 +1,96 @@
+"""Shared programs for the memory-reuse corpus.
+
+The positive programs are two-stage map/reduce chains where the first
+stage's buffer is provably dead before the second stage's first touch --
+the minimal shape the coalescer exists for.  The negative programs are
+the documented soundness boundaries: a double-buffered loop (merging the
+per-iteration buffer would clobber the previous iteration's values) and
+an ``if`` whose branch allocations escape through an existential result.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FunBuilder, f32
+from repro.ir import ast as A
+from repro.symbolic import Var
+
+n = Var("n")
+m = Var("m")
+
+
+def two_stage(first_width, second_width, declare_sizes=()) -> A.Fun:
+    """``X = map(2*x); s = reduce X; Y = map(y+s); t = reduce Y``.
+
+    ``X``'s block dies at the first reduce, before ``Y``'s first touch,
+    so the two allocations are merge candidates; whether the merge lands
+    (and in which mode) depends on the provable relation between
+    ``first_width`` and ``second_width``.
+    """
+    b = FunBuilder("two_stage")
+    for name in declare_sizes:
+        b.size_param(name)
+    if {"n", "m"} <= set(declare_sizes):
+        b.assume_lower("m", 1)
+        b.assume_upper("m", n)
+    x = b.param("x", f32(first_width))
+    y = b.param("y", f32(second_width))
+    mp = b.map_(first_width, index="i")
+    mp.returns(mp.binop("*", mp.index(x, [mp.idx]), 2.0))
+    (X,) = mp.end()
+    s = b.reduce("+", X)
+    mp2 = b.map_(second_width, index="j")
+    mp2.returns(mp2.binop("+", mp2.index(y, [mp2.idx]), s))
+    (Y,) = mp2.end()
+    t = b.reduce("+", Y)
+    b.returns(t)
+    return b.build()
+
+
+def double_buffer_loop() -> A.Fun:
+    """A loop whose body allocates the next state from the carried one.
+
+    Each iteration reads the previous iteration's buffer while writing a
+    fresh one -- the classic double-buffering shape.  The body allocation
+    escapes into the carried state, so it must never be coalesced or
+    freed inside the loop.
+    """
+    b = FunBuilder("dbuf")
+    k = b.size_param("k")
+    x = b.param("x", f32(n))
+    lp = b.loop(count=k, carried=[("Acur", x)], index="i")
+    mp = lp.map_(n, index="j")
+    mp.returns(mp.binop("+", mp.index(lp["Acur"], [mp.idx]), 1.0))
+    (X,) = mp.end()
+    lp.returns(X)
+    (A2,) = lp.end()
+    b.returns(A2)
+    return b.build()
+
+
+def if_escape() -> A.Fun:
+    """Branch allocations escaping an ``if`` through an existential.
+
+    Both branch results alias the ``if``'s existential block; they stay
+    live until the last read through it at the enclosing level, so the
+    branches themselves must not free (or donate) them.
+    """
+    b = FunBuilder("ifesc")
+    x = b.param("x", f32(n))
+    c0 = b.binop("<", b.reduce("+", x), 0.0)
+    br = b.if_(c0)
+    mp = br.then_builder.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(x, [mp.idx]), 2.0))
+    (X,) = mp.end()
+    br.then_builder.returns(X)
+    mp = br.else_builder.map_(n, index="j")
+    mp.returns(mp.binop("*", mp.index(x, [mp.idx]), 3.0))
+    (Y,) = mp.end()
+    br.else_builder.returns(Y)
+    (Z,) = br.end()
+    s = b.reduce("+", Z)
+    mp2 = b.map_(n, index="l")
+    mp2.returns(mp2.binop("+", mp2.index(x, [mp2.idx]), s))
+    (W,) = mp2.end()
+    t = b.reduce("+", W)
+    b.returns(t)
+    return b.build()
