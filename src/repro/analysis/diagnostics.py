@@ -86,6 +86,24 @@ RULES = {
         "access region unknown (composed index function) on a shared block",
         "a reshape produced a composed index function in shared memory",
     ),
+    "F01": (
+        "memory block freed while still used later or reachable",
+        "stale mem_frees annotations (program mutated after annotate_frees)",
+    ),
+    "F02": (
+        "memory block freed outside its allocation scope",
+        "lifetime annotation attached to the wrong block",
+    ),
+    "FU01": (
+        "elided intermediate of a fused kernel is still referenced",
+        "fusion deleted the producer but a binding/alloc of the "
+        "intermediate survived (dead-allocation sweep did not run?)",
+    ),
+    "FU02": (
+        "fused kernel's write set disagrees with its provenance records",
+        "fusion changed what the pair writes, or a later pass re-homed "
+        "the consumer without rewriting the FusedRecord",
+    ),
 }
 
 

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.analysis.bounds import check_bounds
 from repro.analysis.diagnostics import Report
 from repro.analysis.frees import check_frees
+from repro.analysis.fusion import check_fusion
 from repro.analysis.liveness import check_liveness
 from repro.analysis.races import check_races
 from repro.analysis.wellformed import check_wellformed
@@ -28,6 +29,7 @@ CHECKERS = (
     ("liveness", check_liveness),
     ("races", check_races),
     ("frees", check_frees),
+    ("fusion", check_fusion),
 )
 
 

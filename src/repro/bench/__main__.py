@@ -4,6 +4,7 @@
                                           # at the paper's dataset sizes)
     python -m repro.bench nw hotspot      # a subset
     python -m repro.bench nw --quick      # scaled-down datasets (seconds)
+    python -m repro.bench --filter hot    # names containing "hot"
     python -m repro.bench --quick --json  # + executor-tier wall clock,
                                           # written to benchmarks/results/
     python -m repro.bench --list          # available benchmarks
@@ -22,6 +23,7 @@ from repro.bench.harness import (
     compile_both,
     measure_engine,
     measure_footprint,
+    measure_fusion,
     run_table,
 )
 from repro.bench.programs import all_benchmarks
@@ -32,6 +34,13 @@ from repro.bench.programs import all_benchmarks
 #: ``python -m repro.bench --write-footprint-baseline`` after a change
 #: that legitimately alters the footprint.
 FOOTPRINT_BASELINE = Path("benchmarks") / "results" / "footprint_baseline.json"
+
+#: Committed reference for the traffic regression gate: CI fails when the
+#: optimized pipeline's dry-run traffic (bytes read + written at the
+#: PERF_DATASETS size) exceeds the recorded value -- e.g. when a fusion
+#: or short-circuit opportunity is lost.  Regenerate with
+#: ``python -m repro.bench --write-traffic-baseline``.
+TRAFFIC_BASELINE = Path("benchmarks") / "results" / "traffic_baseline.json"
 
 #: Scaled-down datasets for --quick runs (same code paths, small sizes).
 QUICK_DATASETS = {
@@ -65,6 +74,8 @@ def main(argv=None) -> int:
         prog="python -m repro.bench", description=__doc__
     )
     parser.add_argument("benchmarks", nargs="*", help="subset to run")
+    parser.add_argument("--filter", metavar="NAME",
+                        help="run only benchmarks whose name contains NAME")
     parser.add_argument("--quick", action="store_true",
                         help="scaled-down datasets")
     parser.add_argument("--list", action="store_true",
@@ -78,6 +89,10 @@ def main(argv=None) -> int:
                         help="record current peak footprints as the "
                              "regression baseline "
                              "(benchmarks/results/footprint_baseline.json)")
+    parser.add_argument("--write-traffic-baseline", action="store_true",
+                        help="record current optimized-pipeline traffic as "
+                             "the regression baseline "
+                             "(benchmarks/results/traffic_baseline.json)")
     args = parser.parse_args(argv)
 
     registry = all_benchmarks()
@@ -91,13 +106,24 @@ def main(argv=None) -> int:
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if args.filter:
+        names = [n for n in names if args.filter in n]
+        if not names:
+            print(f"no benchmark matches --filter {args.filter!r}",
+                  file=sys.stderr)
+            return 2
 
     failed = []
     tier_failed = []
     footprint_failed = []
+    fusion_failed = []
+    traffic_failed = []
     baseline = {}
     if FOOTPRINT_BASELINE.exists():
         baseline = json.loads(FOOTPRINT_BASELINE.read_text())
+    traffic_baseline = {}
+    if TRAFFIC_BASELINE.exists():
+        traffic_baseline = json.loads(TRAFFIC_BASELINE.read_text())
     results = {}
     for name in names:
         module = registry[name]
@@ -136,6 +162,26 @@ def main(argv=None) -> int:
                   f"exceeds baseline {recorded:,}", file=sys.stderr)
             footprint_failed.append(name)
 
+        fusion = measure_fusion(
+            module, PERF_DATASETS[name], PERF_DATASETS[name], compiled[1]
+        )
+        if fusion["committed"]:
+            saved = fusion["unfused_traffic"] - fusion["fused_traffic"]
+            pct = saved / fusion["unfused_traffic"] if fusion["unfused_traffic"] else 0
+            print(f"fusion: {fusion['committed']} producer(s) inlined, "
+                  f"traffic {fusion['fused_traffic']:,} vs "
+                  f"{fusion['unfused_traffic']:,} unfused (-{pct:.0%}), "
+                  f"outputs identical: {fusion['outputs_equal']}")
+        if not fusion["ok"]:
+            print(f"FUSION DIFFERENTIAL FAILED: {fusion}", file=sys.stderr)
+            fusion_failed.append(name)
+
+        recorded_traffic = traffic_baseline.get(name, {}).get("opt_traffic_bytes")
+        if recorded_traffic is not None and fusion["fused_traffic"] > recorded_traffic:
+            print(f"TRAFFIC REGRESSION: {fusion['fused_traffic']:,} bytes "
+                  f"exceeds baseline {recorded_traffic:,}", file=sys.stderr)
+            traffic_failed.append(name)
+
         engine = None
         if args.json:
             engine = measure_engine(module, PERF_DATASETS[name], compiled)
@@ -149,6 +195,7 @@ def main(argv=None) -> int:
                 tier_failed.append(name)
 
         results[name] = {
+            "fusion": fusion,
             "footprint": footprint,
             "validated": report.validated,
             "validation_ran": report.validation_ran,
@@ -188,6 +235,19 @@ def main(argv=None) -> int:
         FOOTPRINT_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {FOOTPRINT_BASELINE}")
 
+    if args.write_traffic_baseline:
+        TRAFFIC_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            name: {
+                "dataset": results[name]["fusion"]["dry_dataset"],
+                "opt_traffic_bytes": results[name]["fusion"]["fused_traffic"],
+                "unfused_traffic_bytes": results[name]["fusion"]["unfused_traffic"],
+            }
+            for name in results
+        }
+        TRAFFIC_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {TRAFFIC_BASELINE}")
+
     if args.json:
         ts = time.strftime("%Y%m%d-%H%M%S")
         out_dir = Path("benchmarks") / "results"
@@ -210,6 +270,14 @@ def main(argv=None) -> int:
         return 1
     if footprint_failed:
         print(f"FOOTPRINT REGRESSION: {', '.join(footprint_failed)}",
+              file=sys.stderr)
+        return 1
+    if fusion_failed:
+        print(f"FUSION DIFFERENTIAL FAILED: {', '.join(fusion_failed)}",
+              file=sys.stderr)
+        return 1
+    if traffic_failed:
+        print(f"TRAFFIC REGRESSION: {', '.join(traffic_failed)}",
               file=sys.stderr)
         return 1
     return 0

@@ -79,12 +79,18 @@ class BenchReport:
 
 
 # ----------------------------------------------------------------------
-def compile_both(module) -> Tuple[CompiledFun, CompiledFun]:
-    """(unopt, opt) pipelines for a benchmark module."""
+def compile_both(module, fuse: bool = True) -> Tuple[CompiledFun, CompiledFun]:
+    """(unopt, opt) pipelines for a benchmark module.
+
+    ``fuse`` applies to *both* pipelines: the paper tables compare
+    short-circuiting on otherwise identical programs, so the fusion
+    ablation is measured separately (:func:`measure_fusion`), not folded
+    into the unopt column.
+    """
     fun = module.build()
     return (
-        compile_fun(fun, short_circuit=False),
-        compile_fun(fun, short_circuit=True),
+        compile_fun(fun, short_circuit=False, fuse=fuse),
+        compile_fun(fun, short_circuit=True, fuse=fuse),
     )
 
 
@@ -168,6 +174,78 @@ def measure_engine(module, args: Sequence, compiled=None) -> Dict[str, object]:
             == ex_v.stats.peak_bytes
             == est.peak_bytes
         ),
+    }
+
+
+def measure_fusion(
+    module,
+    real_args: Sequence,
+    dry_args: Optional[Sequence] = None,
+    compiled: Optional[CompiledFun] = None,
+) -> Dict[str, object]:
+    """Fuse-on / fuse-off differential for one benchmark.
+
+    Compiles the optimized pipeline twice (``fuse=True`` / ``fuse=False``),
+    runs both on identical real data under *both* executor tiers and
+    requires bit-identical outputs (fusion only changes where intermediate
+    values live, never what is computed), then dry-runs both at
+    ``dry_args`` to measure the traffic the pass eliminated.  The
+    vectorized tier's interpreted-launch count must not increase: a fused
+    body that silently falls back to the interpreted path would trade
+    traffic for wall clock.
+    """
+    fused = (
+        compiled
+        if compiled is not None
+        else compile_fun(module.build(), short_circuit=True, fuse=True)
+    )
+    unfused = compile_fun(module.build(), short_circuit=True, fuse=False)
+    inp = module.inputs_for(*real_args)
+
+    def fresh():
+        return {k: (v.copy() if hasattr(v, "copy") else v) for k, v in inp.items()}
+
+    outs: Dict[Tuple[str, bool], List[np.ndarray]] = {}
+    tier_stats: Dict[Tuple[str, bool], ExecStats] = {}
+    for label, c in (("fused", fused), ("unfused", unfused)):
+        for vec in (False, True):
+            ex = MemExecutor(c.fun, vectorize=vec)
+            vals, st = ex.run(**fresh())
+            outs[(label, vec)] = [np.asarray(materialize(ex, v)) for v in vals]
+            tier_stats[(label, vec)] = st
+    outputs_equal = all(
+        np.array_equal(a, b)
+        for vec in (False, True)
+        for a, b in zip(outs[("fused", vec)], outs[("unfused", vec)])
+    )
+
+    dargs = dry_args if dry_args is not None else real_args
+    dinp = module.dry_inputs_for(*dargs)
+    _, dry_f = MemExecutor(fused.fun, mode="dry").run(**dict(dinp))
+    _, dry_u = MemExecutor(unfused.fun, mode="dry").run(**dict(dinp))
+
+    committed = fused.fuse_stats.committed if fused.fuse_stats else 0
+    interp_f = tier_stats[("fused", True)].interp_launches
+    interp_u = tier_stats[("unfused", True)].interp_launches
+    traffic_ok = (
+        dry_f.bytes_total < dry_u.bytes_total
+        if committed
+        else dry_f.bytes_total == dry_u.bytes_total
+    )
+    return {
+        "real_dataset": list(real_args),
+        "dry_dataset": list(dargs),
+        "committed": committed,
+        "outputs_equal": outputs_equal,
+        "fused_traffic": dry_f.bytes_total,
+        "unfused_traffic": dry_u.bytes_total,
+        "traffic_ok": traffic_ok,
+        "fused_kernels": dry_f.fused_kernels,
+        "bytes_elided": dry_f.bytes_elided_fusion,
+        "interp_launches_fused": interp_f,
+        "interp_launches_unfused": interp_u,
+        "no_vec_fallback": interp_f <= interp_u,
+        "ok": outputs_equal and traffic_ok and interp_f <= interp_u,
     }
 
 

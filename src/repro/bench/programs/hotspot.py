@@ -12,7 +12,8 @@ Structure per time step (2-D ``[n][n]`` grids):
     top    = map (c < n)   { boundary cell (0, c) }           -- edge row
     middle = map (r < n-2) {
         left  = boundary cell (r+1, 0)
-        inner = map (c < n-2) { interior cell (r+1, c+1) }    -- hot loop
+        sums  = map (c < n-2) { up+down+left+right }          -- producer
+        inner = map (c < n-2) { update from sums[c] }         -- consumer
         right = boundary cell (r+1, n-1)
         in concat (replicate 1 left) inner (replicate 1 right)-- row chain
     }
@@ -124,10 +125,32 @@ def build(iters: int | None = None) -> Fun:
         [r - 1, SymExpr.const(0)], [r + 1, SymExpr.const(0)],
         [r, SymExpr.const(0)], [r, SymExpr.const(1)],
     )
-    # Interior cells.
+    # Interior cells, staged as the two kernels a naive stencil compiler
+    # emits: a neighbour-sum producer feeding the update consumer.  Fusion
+    # inlines the producer and restores the classic one-kernel interior
+    # row; fuse=False materializes the per-row sums array in (expanded)
+    # global memory and pays its write+read round trip.
+    sums = mid.map_(n - 2, index="cs")
+    cc = sums.idx + 1
+    u = sums.index(T, [r - 1, cc])
+    d = sums.index(T, [r + 1, cc])
+    lf = sums.index(T, [r, cc - 1])
+    rt = sums.index(T, [r, cc + 1])
+    s3p = sums.binop("+", sums.binop("+", u, d), sums.binop("+", lf, rt))
+    sums.returns(s3p)
+    (nsum,) = sums.end()
+
     inner = mid.map_(n - 2, index="c")
+    ci = inner.idx
     c = inner.idx + 1
-    val = _cell(inner, T, P, r, c, [r - 1, c], [r + 1, c], [r, c - 1], [r, c + 1])
+    t = inner.index(T, [r, c])
+    p = inner.index(P, [r, c])
+    s3 = inner.index(nsum, [ci])
+    t4 = inner.binop("*", t, 4.0)
+    diff = inner.binop("-", s3, t4)
+    kd = inner.binop("*", diff, K)
+    cp = inner.binop("*", p, C)
+    val = inner.binop("+", t, inner.binop("+", kd, cp))
     inner.returns(val)
     (inner_row,) = inner.end()
     # Right edge cell of the row.

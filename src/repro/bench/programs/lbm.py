@@ -55,27 +55,43 @@ def build() -> Fun:
     lp = bld.loop(count=Var("steps"), carried=[("fc", f0)], index="t")
     fcur = lp["fc"]
 
+    # --- stream, staged as Parboil's separate kernel: gather every
+    # (cell, direction) upwind distribution into a streamed grid copy.
+    # Fusion inlines the gather at its single read site inside the
+    # per-cell kernel below, restoring the classic one-kernel
+    # stream+collide step (the extra %9 / //9 decomposition it recomputes
+    # per read is arithmetic, not traffic); fuse=False materializes the
+    # full [n*n*9] streamed grid and pays its write+read round trip every
+    # time step.
+    st = lp.map_(n * n * 9, index="g")
+    g = st.idx
+    d2 = st.binop("%", g, 9)
+    cell2 = st.binop("//", g, 9)
+    r2 = st.binop("//", cell2, SymExpr.var("n"))
+    c2 = st.binop("%", cell2, SymExpr.var("n"))
+    dr = st.index(dirs, [SymExpr.var(d2), 0])
+    dc = st.index(dirs, [SymExpr.var(d2), 1])
+    # (r - dr + n) % n, (c - dc + n) % n  -- periodic upwind neighbour
+    rsub = st.binop("-", r2, dr)
+    radd = st.binop("+", rsub, SymExpr.var("n"))
+    rn = st.binop("%", radd, SymExpr.var("n"))
+    csub = st.binop("-", c2, dc)
+    cadd = st.binop("+", csub, SymExpr.var("n"))
+    cn = st.binop("%", cadd, SymExpr.var("n"))
+    src = st.binop("*", rn, SymExpr.var("n"))
+    srcc = st.binop("+", src, cn)
+    sv = st.index(fcur, [SymExpr.var(srcc), SymExpr.var(d2)])
+    st.returns(sv)
+    (fstr,) = st.end()
+
     mp = lp.map_(n * n, index="cell")
     cell = mp.idx
-    r = mp.binop("//", cell, n, name=None)
-    c = mp.binop("%", cell, n, name=None)
 
-    # --- stream: pull the 9 upwind distributions into a local array ---
+    # --- pull the 9 streamed distributions into a local array ---
     fin0 = mp.scratch("f32", [9])
     s1 = mp.loop(count=9, carried=[("fin", fin0)], index="d")
     d = s1.idx
-    dr = s1.index(dirs, [d, 0])
-    dc = s1.index(dirs, [d, 1])
-    # (r - dr + n) % n, (c - dc + n) % n  -- periodic upwind neighbour
-    rsub = s1.binop("-", r, dr)
-    radd = s1.binop("+", rsub, SymExpr.var("n"))
-    rn = s1.binop("%", radd, SymExpr.var("n"))
-    csub = s1.binop("-", c, dc)
-    cadd = s1.binop("+", csub, SymExpr.var("n"))
-    cn = s1.binop("%", cadd, SymExpr.var("n"))
-    src = s1.binop("*", rn, SymExpr.var("n"))
-    srcc = s1.binop("+", src, cn)
-    v = s1.index(fcur, [SymExpr.var(srcc), d])
+    v = s1.index(fstr, [cell * 9 + d])
     fin1 = s1.update_point(s1["fin"], [d], v)
     s1.returns(fin1)
     (fin,) = s1.end()

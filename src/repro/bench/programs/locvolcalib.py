@@ -49,11 +49,20 @@ def build() -> Fun:
     mp = bld.map_(m, index="o")
     o = mp.idx
 
-    # Initial condition: a call-option payoff parameterized by instance.
+    # Initial condition: a call-option payoff parameterized by instance,
+    # staged as FinPar stages it -- a grid-minus-strike producer feeding
+    # the payoff clamp.  Fusion inlines the producer (one init kernel, as
+    # the classic code); fuse=False materializes the per-thread
+    # differences vector in expanded global memory.
+    grid = mp.map_(numX, index="ig")
+    xi = grid.binop("*", grid.unop("f32", grid.scalar(grid.idx)), 0.01)
+    ko = grid.binop("*", grid.unop("f32", grid.scalar(o)), 0.02)
+    dv = grid.binop("-", xi, ko)
+    grid.returns(dv)
+    (diffs,) = grid.end()
+
     init = mp.map_(numX, index="i")
-    xi = init.binop("*", init.unop("f32", init.scalar(init.idx)), 0.01)
-    ko = init.binop("*", init.unop("f32", init.scalar(o)), 0.02)
-    pay = init.binop("max", init.binop("-", xi, ko), 0.0)
+    pay = init.binop("max", init.index(diffs, [init.idx]), 0.0)
     init.returns(pay)
     (u0,) = init.end()
 

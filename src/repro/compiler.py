@@ -9,7 +9,12 @@ Mirrors the relevant slice of the Futhark pipeline the paper extends:
 5. **array short-circuiting** (:mod:`repro.opt.shortcircuit`) -- optional,
    so the unoptimized pipeline is the paper's "Unopt. Futhark" baseline;
 6. dead-allocation cleanup;
-7. **memory reuse** (:mod:`repro.reuse`) -- optional: coalesces
+7. **producer-consumer fusion** (:mod:`repro.opt.fuse`) -- optional:
+   inlines a scalar ``map`` producer into its sole consumer so the
+   intermediate array (and its write+read round trip) disappears; runs
+   after short-circuiting (whose rebases it must respect) and before
+   reuse (fusion shrinks live ranges, giving the coalescer more room);
+8. **memory reuse** (:mod:`repro.reuse`) -- optional: coalesces
    allocations with provably disjoint live ranges (another
    dead-allocation sweep drops the merged-away ``alloc`` statements),
    then annotates every statement with the blocks whose host-level
@@ -49,6 +54,8 @@ class CompiledFun:
     sc_stats: Optional[ShortCircuitStats]
     #: What the memory-reuse coalescer did (None when reuse=False).
     reuse_stats: Optional["object"] = None
+    #: What producer-consumer fusion did (None when fuse=False).
+    fuse_stats: Optional["object"] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     #: stage name -> verifier report, populated when compiled with verify=True
     verify_reports: Dict[str, "object"] = field(default_factory=dict)
@@ -68,6 +75,7 @@ def compile_fun(
     enable_splitting: bool = True,
     typecheck: bool = True,
     verify: bool = False,
+    fuse: bool = True,
     reuse: bool = True,
 ) -> CompiledFun:
     """Run the full pipeline on a source function (which is not mutated).
@@ -76,6 +84,10 @@ def compile_fun(
     memory-transforming stage and raises
     :class:`~repro.analysis.VerificationError` on the first stage whose
     output has errors, identifying the pass that broke the program.
+
+    ``fuse=False`` disables producer-consumer fusion -- the ablation
+    path: the traffic gate compares fused and unfused runs and requires
+    bit-identical outputs with strictly less traffic.
 
     ``reuse=False`` disables allocation coalescing and the ``mem_frees``
     lifetime annotations; the differential tests compare against it to
@@ -115,6 +127,14 @@ def compile_fun(
         )
         timed("dead_allocs", lambda: remove_dead_allocations(mfun))
         checked("short_circuit", mfun)
+    fuse_stats = None
+    if fuse:
+        from repro.opt.fuse import fuse_fun
+
+        fuse_stats = timed("fuse", lambda: fuse_fun(mfun))
+        if fuse_stats.committed:
+            timed("dead_allocs[fuse]", lambda: remove_dead_allocations(mfun))
+        checked("fuse", mfun)
     reuse_stats = None
     if reuse:
         from repro.reuse import annotate_frees, reuse_allocations
@@ -125,5 +145,11 @@ def compile_fun(
         timed("annotate_frees", lambda: annotate_frees(mfun))
         checked("reuse", mfun)
     return CompiledFun(
-        mfun, short_circuit, sc_stats, reuse_stats, stages, reports
+        mfun,
+        short_circuit,
+        sc_stats,
+        reuse_stats=reuse_stats,
+        fuse_stats=fuse_stats,
+        stage_seconds=stages,
+        verify_reports=reports,
     )

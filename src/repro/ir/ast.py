@@ -379,6 +379,33 @@ class Alloc(Exp):
         object.__setattr__(self, "size", sym(self.size))
 
 
+@dataclass(frozen=True)
+class FusedRecord:
+    """One producer ``map`` fused into this (consumer) statement.
+
+    Written by :mod:`repro.opt.fuse` when it inlines a producer's body
+    into its sole consumer and deletes the intermediate array.  Like
+    ``mem`` annotations this is a deletable add-on: the executor uses it
+    for ``fused_kernels`` / ``bytes_elided_fusion`` accounting, the
+    pseudo-CUDA backend for a provenance comment, and the verifier's FU
+    rules for translation validation -- none of it changes semantics.
+    """
+
+    #: Name the producer map bound (the elided intermediate array).
+    producer: str
+    #: The intermediate's (now deleted) memory block.
+    mem: str
+    #: Producer width == element count of the elided intermediate.
+    width: SymExpr
+    #: Bytes per element of the elided intermediate.
+    elem_bytes: int
+    #: Number of consumer read sites the producer body was inlined at.
+    reads: int
+    #: Memory blocks the original producer+consumer pair wrote (the
+    #: fused kernel must write exactly these minus ``mem`` -- rule FU02).
+    write_mems: Tuple[str, ...] = ()
+
+
 @dataclass
 class Let:
     """One statement: bind ``pattern`` to the value of ``exp``.
@@ -396,6 +423,9 @@ class Let:
     #: high-water mark -- like ``mem`` annotations, deletable without
     #: changing program semantics.
     mem_frees: Tuple[str, ...] = ()
+    #: Producer maps vertically fused into this statement by
+    #: :mod:`repro.opt.fuse` (empty for all other statements).
+    fused: Tuple[FusedRecord, ...] = ()
 
     @property
     def names(self) -> Tuple[str, ...]:

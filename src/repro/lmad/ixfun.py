@@ -94,8 +94,36 @@ class IndexFn:
     def size(self) -> SymExpr:
         return self.inner.size()
 
+    # ------------------------------------------------------------------
+    # Instance memoization
+    #
+    # Index functions are immutable, and the executor's hot paths apply
+    # the same handful of derivations to the same instance over and over
+    # (``fix_dim(0, i)`` once per thread per launch, ``substitute`` once
+    # per loop iteration, ``lmad_slice`` per gather).  The dataclass is
+    # frozen but not slotted, so per-instance caches can live in
+    # ``__dict__`` without affecting the generated field-based
+    # ``__eq__``/``__hash__``.  Entries are themselves immutable, so
+    # sharing the returned instances is safe.
+    # ------------------------------------------------------------------
+    def _memo(self, name: str) -> dict:
+        cache = self.__dict__.get(name)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, name, cache)
+        return cache
+
     def substitute(self, mapping: Mapping[str, ExprLike]) -> "IndexFn":
-        return IndexFn(tuple(l.substitute(mapping) for l in self.lmads))
+        key = tuple(
+            (k, sym(v))
+            for k, v in sorted(mapping.items(), key=lambda kv: kv[0])
+        )
+        cache = self._memo("_subst_cache")
+        hit = cache.get(key)
+        if hit is None:
+            hit = IndexFn(tuple(l.substitute(mapping) for l in self.lmads))
+            cache[key] = hit
+        return hit
 
     def is_direct(self, prover: Prover) -> bool:
         """Row-major with zero offset?  (The layout ``copy`` would produce.)"""
@@ -184,14 +212,25 @@ class IndexFn:
         return self._replace_inner(self.inner.slice_triplets(triplets))
 
     def fix_dim(self, k: int, index: ExprLike) -> "IndexFn":
-        return self._replace_inner(self.inner.fix_dim(k, index))
+        key = (k, sym(index))
+        cache = self._memo("_fix_cache")
+        hit = cache.get(key)
+        if hit is None:
+            hit = self._replace_inner(self.inner.fix_dim(k, index))
+            cache[key] = hit
+        return hit
 
     def reverse(self, k: int) -> "IndexFn":
         return self._replace_inner(self.inner.reverse(k))
 
     def lmad_slice(self, slice_lmad: Lmad) -> "IndexFn":
         """Generalized LMAD slicing of a rank-1 array (paper section III-B)."""
-        return self._replace_inner(self.inner.compose_slice(slice_lmad))
+        cache = self._memo("_slice_cache")
+        hit = cache.get(slice_lmad)
+        if hit is None:
+            hit = self._replace_inner(self.inner.compose_slice(slice_lmad))
+            cache[slice_lmad] = hit
+        return hit
 
     def reshape(
         self, new_shape: Sequence[ExprLike], prover: Prover

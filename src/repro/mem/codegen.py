@@ -291,6 +291,14 @@ class CodeGen:
         k = _Emitter()
         k.emit(f"__global__ void {kname}(...) {{")
         k.indent += 1
+        for rec in stmt.fused:
+            # Fusion provenance: the producer map was inlined here and its
+            # intermediate never reaches global memory.
+            k.emit(
+                f"// fused producer {rec.producer}: body inlined at "
+                f"{rec.reads} read site(s), intermediate block {rec.mem} "
+                f"({rec.width} x {rec.elem_bytes}B) elided"
+            )
         tvar = exp.lam.params[0]
         k.emit(f"long {tvar} = blockIdx_x * blockDim_x + threadIdx_x;")
         k.emit(f"if ({tvar} >= {exp.width}) return;")

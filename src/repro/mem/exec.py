@@ -110,8 +110,6 @@ class MemExecutor:
     ):
         if mode not in ("real", "dry"):
             raise ValueError(f"unknown mode {mode!r}")
-        if debug and mode != "real":
-            raise ValueError("debug shadow memory requires mode='real'")
         self.fun = fun
         self.mode = mode
         #: Dispatch eligible real-mode ``map`` statements to the batched
@@ -125,6 +123,13 @@ class MemExecutor:
         #: the shadow bits (valgrind-style) so double-buffering partially
         #: initialized arrays stays legal; only scalar uses of poisoned
         #: elements raise.  Zero overhead when off.
+        #:
+        #: In dry mode there are no buffers to shadow, so ``debug=True``
+        #: degrades to *bounds-only* checking: every region access is
+        #: validated against its block extent analytically (O(rank) LMAD
+        #: span, no offset enumeration), which is what lets paper-scale
+        #: datasets be checked without allocating terabytes.
+        #: Initialization checking needs real data and stays real-only.
         self.debug = debug
         self._shadow: Dict[str, np.ndarray] = {}
         #: When True, arrays allocated inside kernels are treated as
@@ -163,6 +168,11 @@ class MemExecutor:
         # array.  Callers never mutate the result.
         self._offs_cache: Dict[Tuple[str, IndexFn], np.ndarray] = {}
         self._vec_engine = None  # lazily built repro.mem.vectorize.VecEngine
+        # Static fused-producer plans per outermost map statement (see
+        # _fused_plan); the subtree never changes after compilation.
+        self._fused_cache: Dict[
+            int, List[Tuple[A.FusedRecord, Tuple[SymExpr, ...]]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Entry
@@ -336,6 +346,29 @@ class MemExecutor:
                 f"(first poisoned offset: {first})"
             )
 
+    def _check_region(self, arr: RuntimeArray) -> None:
+        """Dry-mode bounds check: analytic extent of a region access.
+
+        Real mode checks the enumerated offsets; dry mode cannot afford
+        enumeration at paper scale, but the reachable-offset set of a
+        single concrete LMAD has a closed-form envelope: the offset plus,
+        per dimension, ``(shape-1)*stride`` added to the max (positive
+        stride) or the min (negative stride, i.e. a reversal).  Composed
+        index functions (no single-LMAD form) are skipped -- their final
+        offsets are not an affine image of the index space.
+        """
+        bounds = _region_bounds(arr.ixfn)
+        if bounds is None:
+            return
+        lo, hi = bounds
+        buf = self.mem[arr.mem]
+        size = buf.size if isinstance(buf, np.ndarray) else int(buf)
+        if lo < 0 or hi >= size:
+            raise OutOfBoundsError(
+                f"region of block {arr.mem!r} spans offsets [{lo}, {hi}], "
+                f"outside [0, {size})"
+            )
+
     def _point_write_check(self, mem: str, off: int) -> None:
         self._check_bounds(mem, np.array([off]))
         sh = self._shadow.get(mem)
@@ -404,6 +437,9 @@ class MemExecutor:
                     dsh = self._shadow.get(dst.mem)
                     if ssh is not None and dsh is not None:
                         dsh[offs] = ssh[self._offsets(src)].reshape(offs.shape)
+        elif self.debug:
+            self._check_region(src)
+            self._check_region(dst)
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -478,6 +514,8 @@ class MemExecutor:
             if not isinstance(exp, A.Scratch):
                 if dest.mem not in self._local_mems:
                     ks.bytes_written += dest.nbytes()
+                if self.mode != "real" and self.debug:
+                    self._check_region(dest)
                 if self.mode == "real":
                     if isinstance(exp, A.Iota):
                         n = eval_sym(exp.n, env)
@@ -543,6 +581,9 @@ class MemExecutor:
                 buf = self.mem[src.mem]
                 env[stmt.names[0]] = buf[off]
             else:
+                if self.debug:
+                    off = src.ixfn.apply_concrete(idx, {})
+                    self._check_bounds(src.mem, np.array([off]))
                 env[stmt.names[0]] = _dummy(src.dtype)
             return
 
@@ -594,6 +635,8 @@ class MemExecutor:
                 else:
                     env[stmt.names[0]] = data.max()
             else:
+                if self.debug:
+                    self._check_region(src)
                 env[stmt.names[0]] = _dummy(src.dtype)
                 if isinstance(exp, A.ArgMin):
                     env[stmt.names[1]] = 0
@@ -620,6 +663,9 @@ class MemExecutor:
                     self._point_write_check(result.mem, off)
                 buf = self.mem[result.mem]
                 buf[off] = self._scalar_operand(exp.value, env)
+            elif self.debug:
+                off = result.ixfn.apply_concrete(idx, {})
+                self._check_bounds(result.mem, np.array([off]))
             env[stmt.names[0]] = result
             return
         if isinstance(spec, A.TripletSpec):
@@ -644,6 +690,42 @@ class MemExecutor:
         env[stmt.names[0]] = result
 
     # ------------------------------------------------------------------
+    def _fused_plan(
+        self, stmt: A.Let
+    ) -> List[Tuple[A.FusedRecord, Tuple[SymExpr, ...]]]:
+        """Fused producers in a launch's subtree, with thread multipliers.
+
+        A record on the launched map itself elides one intermediate per
+        launch; a record nested under further maps/loops elides one per
+        enclosing thread/iteration, so each record carries the widths and
+        trip counts on its path (``if`` branches are assumed taken --
+        fusion under data-dependent branches is counted optimistically).
+        Counted once per outermost launch, *before* tier dispatch, so the
+        vectorized, interpreted and dry paths agree exactly.
+        """
+        plan = self._fused_cache.get(id(stmt))
+        if plan is None:
+            plan = []
+
+            def walk(s: A.Let, factors: Tuple[SymExpr, ...]) -> None:
+                for rec in s.fused:
+                    plan.append((rec, factors))
+                exp = s.exp
+                if isinstance(exp, A.Map):
+                    for sub in exp.lam.body.stmts:
+                        walk(sub, factors + (exp.width,))
+                elif isinstance(exp, A.Loop):
+                    for sub in exp.body.stmts:
+                        walk(sub, factors + (exp.count,))
+                elif isinstance(exp, A.If):
+                    for blk in (exp.then_block, exp.else_block):
+                        for sub in blk.stmts:
+                            walk(sub, factors)
+
+            walk(stmt, ())
+            self._fused_cache[id(stmt)] = plan
+        return plan
+
     def _exec_map(self, stmt: A.Let, exp: A.Map, env) -> None:
         width = eval_sym(exp.width, env)
         dests = [
@@ -656,6 +738,17 @@ class MemExecutor:
         ks = self._kernel(stmt, "map", f"map:{'/'.join(stmt.names)}")
         if not nested:
             ks.launches += 1
+            for rec, factors in self._fused_plan(stmt):
+                self.stats.fused_kernels += 1
+                try:
+                    n = eval_sym(rec.width, env)
+                    for f in factors:
+                        n *= eval_sym(f, env)
+                except (InterpError, KeyError):
+                    continue  # width not host-evaluable: count fusion only
+                # The elided round trip: the producer's write of the
+                # intermediate plus the consumer's read of it.
+                self.stats.bytes_elided_fusion += 2 * n * rec.elem_bytes
             self._kernel_baseline = self._live_bytes
             self._kernel_allocs = []
 
@@ -679,6 +772,8 @@ class MemExecutor:
                         if self.debug:
                             self._point_write_check(dest.mem, off)
                         buf[off] = val
+                    elif self.debug:
+                        self._check_region(region)
 
         self._kernel_stack.append(ks)
         try:
@@ -699,7 +794,13 @@ class MemExecutor:
                     for i in range(width):
                         run_thread(i)
             else:
-                # Dry mode: one representative thread, traffic scaled.
+                # Dry mode: one representative thread, traffic scaled --
+                # but bounds are checked analytically over the *whole*
+                # destination region, not just the sampled thread's slice.
+                if self.debug:
+                    for dest in dests:
+                        if dest is not None:
+                            self._check_region(dest)
                 if width > 0:
                     outer_stats = self.stats
                     sub = ExecStats()
@@ -900,3 +1001,27 @@ def _dummy(dtype: str):
     if dtype == "i64":
         return 0
     return np.dtype(DTYPE_INFO[dtype][0]).type(1)
+
+
+def _region_bounds(ixfn: IndexFn) -> Optional[Tuple[int, int]]:
+    """Inclusive [min, max] flat offset a concrete single-LMAD region
+    can touch, or None when no closed form applies (composed index
+    functions, symbolic components, empty extents)."""
+    lmad = ixfn.as_single()
+    if lmad is None:
+        return None
+    off = lmad.offset.as_int()
+    if off is None:
+        return None
+    lo = hi = off
+    for d in lmad.dims:
+        n = d.shape.as_int()
+        s = d.stride.as_int()
+        if n is None or s is None or n <= 0:
+            return None
+        span = (n - 1) * s
+        if span >= 0:
+            hi += span
+        else:
+            lo += span
+    return lo, hi

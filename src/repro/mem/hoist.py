@@ -97,6 +97,25 @@ def rewrite_mem_bindings(fun: A.Fun, mapping: Dict[str, str]) -> int:
                     if b.mem in mapping:
                         pb[prm] = MemBinding(resolve(b.mem), b.ixfn)
                         changed += 1
+        if stmt.fused and any(
+            r.mem in mapping or set(r.write_mems) & mapping.keys()
+            for r in stmt.fused
+        ):
+            # Fusion provenance names memory blocks too (the verifier's
+            # FU rules compare them against live bindings) and must track
+            # coalescing renames like any binding.
+            stmt.fused = tuple(
+                A.FusedRecord(
+                    producer=r.producer,
+                    mem=resolve(r.mem),
+                    width=r.width,
+                    elem_bytes=r.elem_bytes,
+                    reads=r.reads,
+                    write_mems=tuple(resolve(m) for m in r.write_mems),
+                )
+                for r in stmt.fused
+            )
+            changed += 1
 
     def fix_results(block: A.Block) -> None:
         nonlocal changed

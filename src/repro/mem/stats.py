@@ -69,6 +69,14 @@ class ExecStats:
     #: quantity.
     vec_launches: int = 0
     interp_launches: int = 0
+    #: Fusion accounting (:mod:`repro.opt.fuse`): producers inlined into
+    #: the kernels this run launched, and the write+read round trip the
+    #: elided intermediates would have cost.  Excluded from
+    #: :meth:`signature`: fusion intentionally changes the traffic, so
+    #: the gates compare fused-vs-unfused *outputs* (bit-identical) and
+    #: assert the traffic strictly decreases instead.
+    fused_kernels: int = 0
+    bytes_elided_fusion: int = 0
 
     # ------------------------------------------------------------------
     def kernel(self, site: int, kind: str, label: str) -> KernelStat:
@@ -97,6 +105,10 @@ class ExecStats:
         self.elided_bytes += int(other.elided_bytes * factor)
         self.alloc_bytes += int(other.alloc_bytes * factor)
         self.alloc_count += int(other.alloc_count * factor)
+        # Like launches, fused-kernel counts are per-launch facts; the
+        # elided traffic is data volume and scales with the thread count.
+        self.fused_kernels += other.fused_kernels
+        self.bytes_elided_fusion += int(other.bytes_elided_fusion * factor)
 
     # ------------------------------------------------------------------
     @property
@@ -175,6 +187,8 @@ class ExecStats:
             f"flops           : {self.flops:,}",
             f"copy traffic    : {self.copy_traffic():,} bytes",
             f"elided copies   : {self.elided_copies} ({self.elided_bytes:,} bytes)",
+            f"fused producers : {self.fused_kernels} "
+            f"({self.bytes_elided_fusion:,} bytes elided)",
             f"allocations     : {self.alloc_count} ({self.alloc_bytes:,} bytes)",
         ]
         return "\n".join(lines)

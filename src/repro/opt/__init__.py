@@ -23,10 +23,13 @@ chaining (fig. 6a) falls out of running the pass to a fixpoint.
 
 from repro.opt.summaries import AccessSet, StmtAccess
 from repro.opt.shortcircuit import ShortCircuitStats, short_circuit_fun
+from repro.opt.fuse import FuseStats, fuse_fun
 
 __all__ = [
     "AccessSet",
     "StmtAccess",
     "ShortCircuitStats",
     "short_circuit_fun",
+    "FuseStats",
+    "fuse_fun",
 ]

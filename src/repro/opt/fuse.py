@@ -1,0 +1,606 @@
+"""Producer-consumer vertical fusion over the memory IR (``repro.opt.fuse``).
+
+Short-circuiting (paper section V) removes *copies* and memory reuse
+removes *allocations*, but every producer/consumer ``map`` pair still
+materializes its intermediate array and pays a full write+read round trip
+through global memory.  This pass fuses a ``map`` producer into its sole
+consumer by *recomputation*: every consumer read ``inter[e]`` is replaced
+with an inlined, renamed copy of the producer's body evaluated at thread
+index ``e``, after which the intermediate's binding is deleted and its
+``alloc`` becomes dead (swept by the existing dead-allocation pass).
+
+Scope: producers are single-result ``map``s whose per-thread value is a
+*scalar* (so the intermediate is rank-1 and the producer body is pure
+scalar code -- no allocations, no nested parallelism).  This is exactly
+the class short-circuiting never re-homes (its implicit circuit point
+skips scalar map results), so producer deletion cannot invalidate an
+earlier rebase.  The consumer may be any ``map`` in the same block.
+
+Legality (every failed condition keeps the pair unfused -- the failure
+mode is extra traffic, never incorrectness):
+
+1. *single last use* -- the intermediate is consumed by exactly one later
+   statement of its block, a ``map``, and appears in that statement's
+   ``last_uses`` annotation (:mod:`repro.ir.lastuse`);
+2. *no escaping alias* -- the alias closure of the intermediate is just
+   itself (:mod:`repro.ir.alias`), it is not a block result, and no other
+   array binding references its memory block;
+3. *pointwise-compatible reads* -- every use inside the consumer is a
+   full-rank ``Index``, and composing the read index with the
+   intermediate's (row-major, injective) LMAD shows the offsets the
+   consumer thread reads are covered by the producer's write set.  For a
+   rank-1 fresh intermediate the composition collapses to the index
+   itself, so coverage is the range proof ``0 <= e < width`` discharged
+   by :class:`repro.symbolic.Prover` under the ranges of every enclosing
+   ``map``/``loop`` index;
+4. *no reordering hazard* -- no statement between producer and consumer
+   writes a memory block the producer body reads, and the memory the
+   fused kernel writes is disjoint from what the inlined body reads
+   (checked per block name, with the LMAD non-overlap test of
+   :class:`repro.lmad.NonOverlapChecker` resolving same-block collisions
+   that short-circuiting's rebases can create);
+5. *no capture* -- inlining must not bring a producer free variable under
+   a consumer-local rebinding (never fires with the builder's
+   program-wide unique names; kept as a safety net for synthetic IR).
+
+Each committed fusion attaches a :class:`repro.ir.ast.FusedRecord` to the
+consumer statement; the executor turns those into ``fused_kernels`` /
+``bytes_elided_fusion`` accounting, the pseudo-CUDA backend into a
+provenance comment, and the verifier's FU rules into translation
+validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lmad import NonOverlapChecker
+from repro.symbolic import Context, Prover, SymExpr, sym
+
+from repro.ir import ast as A
+from repro.ir.alias import AliasInfo
+from repro.ir.lastuse import analyze_last_uses
+from repro.ir.types import ArrayType, DTYPE_INFO, ScalarType
+from repro.mem.memir import MemBinding, array_bindings, binding_of, iter_stmts
+
+
+@dataclass(frozen=True)
+class FuseFailure:
+    """One abandoned fusion candidate, as a structured record."""
+
+    rule: str
+    location: str
+
+    def render(self) -> str:
+        return f"{self.rule} @ {self.location}" if self.location else self.rule
+
+
+@dataclass
+class FuseStats:
+    """Outcome counters plus per-reason failure tallies."""
+
+    attempted: int = 0
+    committed: int = 0
+    rounds: int = 0
+    failures: Dict[str, int] = field(default_factory=dict)
+    failure_records: List[FuseFailure] = field(default_factory=list)
+    #: (intermediate, consumer-names) per committed fusion.
+    committed_pairs: List[Tuple[str, Tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+    def fail(self, reason: str, location: str = "") -> None:
+        self.failures[reason] = self.failures.get(reason, 0) + 1
+        self.failure_records.append(FuseFailure(reason, location))
+
+    def summary(self) -> str:
+        lines = [
+            f"fusions attempted : {self.attempted}",
+            f"fusions committed : {self.committed}",
+            f"fixpoint rounds   : {self.rounds}",
+        ]
+        for reason, count in sorted(self.failures.items()):
+            lines.append(f"  failed ({reason}): {count}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Purity / traversal helpers
+# ----------------------------------------------------------------------
+_SCALAR_EXPS = (A.Lit, A.ScalarE, A.BinOp, A.UnOp, A.Index, A.VarRef)
+
+
+def _pure_scalar_stmt(stmt: A.Let) -> bool:
+    """Statement binds only scalars via side-effect-free scalar code."""
+    if any(pe.is_array() for pe in stmt.pattern):
+        return False
+    exp = stmt.exp
+    if isinstance(exp, _SCALAR_EXPS):
+        return True
+    if isinstance(exp, A.If):
+        return all(
+            _pure_scalar_stmt(s)
+            for blk in (exp.then_block, exp.else_block)
+            for s in blk.stmts
+        )
+    return False
+
+
+def _bound_names(stmts: List[A.Let]) -> Set[str]:
+    """All names bound by ``stmts``, including inside ``if`` branches."""
+    out: Set[str] = set()
+    for s in stmts:
+        out |= set(s.names)
+        if isinstance(s.exp, A.If):
+            out |= _bound_names(s.exp.then_block.stmts)
+            out |= _bound_names(s.exp.else_block.stmts)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Renaming (pure-scalar statements only)
+# ----------------------------------------------------------------------
+def _ren_sym(e: SymExpr, mapping: Dict[str, str]) -> SymExpr:
+    hit = {v: SymExpr.var(mapping[v]) for v in e.free_vars() if v in mapping}
+    return e.substitute(hit) if hit else e
+
+
+def _ren_op(op: A.Operand, mapping: Dict[str, str]) -> A.Operand:
+    if isinstance(op, str):
+        return mapping.get(op, op)
+    if isinstance(op, SymExpr):
+        return _ren_sym(op, mapping)
+    return op
+
+
+def _ren_exp(exp: A.Exp, mapping: Dict[str, str]) -> A.Exp:
+    if isinstance(exp, A.Lit):
+        return exp
+    if isinstance(exp, A.ScalarE):
+        return A.ScalarE(_ren_sym(exp.expr, mapping))
+    if isinstance(exp, A.BinOp):
+        return A.BinOp(exp.op, _ren_op(exp.x, mapping), _ren_op(exp.y, mapping))
+    if isinstance(exp, A.UnOp):
+        return A.UnOp(exp.op, _ren_op(exp.x, mapping))
+    if isinstance(exp, A.VarRef):
+        return A.VarRef(mapping.get(exp.name, exp.name))
+    if isinstance(exp, A.Index):
+        return A.Index(
+            mapping.get(exp.src, exp.src),
+            tuple(_ren_sym(i, mapping) for i in exp.indices),
+        )
+    assert isinstance(exp, A.If)
+    return A.If(
+        _ren_op(exp.cond, mapping),
+        _ren_block(exp.then_block, mapping),
+        _ren_block(exp.else_block, mapping),
+    )
+
+
+def _ren_block(block: A.Block, mapping: Dict[str, str]) -> A.Block:
+    return A.Block(
+        _ren_stmts(block.stmts, mapping),
+        tuple(mapping.get(r, r) for r in block.result),
+    )
+
+
+def _ren_stmts(stmts: List[A.Let], mapping: Dict[str, str]) -> List[A.Let]:
+    out: List[A.Let] = []
+    for s in stmts:
+        pattern = [
+            A.PatElem(mapping.get(pe.name, pe.name), pe.type, None)
+            for pe in s.pattern
+        ]
+        out.append(A.Let(pattern, _ren_exp(s.exp, mapping)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# A consumer read site of the intermediate
+# ----------------------------------------------------------------------
+@dataclass
+class _ReadSite:
+    block: A.Block
+    index: int  # position of the Index statement in block.stmts
+    stmt: A.Let
+    #: Index ranges of compound statements between the consumer's lambda
+    #: and this site, innermost last: (var, lo, hi) with inclusive hi.
+    ranges: List[Tuple[str, SymExpr, SymExpr]]
+
+
+class _SiteFailure(Exception):
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ======================================================================
+class _Fuser:
+    def __init__(self, fun: A.Fun, max_rounds: int = 10):
+        self.fun = fun
+        self.max_rounds = max_rounds
+        self.stats = FuseStats()
+        self.aliases: Optional[AliasInfo] = None
+        self.bindings: Dict[str, MemBinding] = {}
+        self.allocated: Set[str] = set()
+        self._suffix = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> FuseStats:
+        for _ in range(self.max_rounds):
+            info = analyze_last_uses(self.fun)
+            self.aliases = info.aliases
+            self.bindings = array_bindings(self.fun)
+            self.allocated = {
+                s.names[0]
+                for s in iter_stmts(self.fun.body)
+                if isinstance(s.exp, A.Alloc)
+            }
+            self.stats.rounds += 1
+            if not self._block(self.fun.body, self.fun.build_context(), "body"):
+                break
+        else:
+            analyze_last_uses(self.fun)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Block walk
+    # ------------------------------------------------------------------
+    def _block(self, block: A.Block, ctx: Context, path: str) -> bool:
+        """Try to commit one fusion in this block or below; True if mutated."""
+        self._add_defines(block, ctx)
+        for pi, pstmt in enumerate(block.stmts):
+            if not self._is_producer(pstmt):
+                continue
+            if self._try_fuse(block, pi, pstmt, ctx, path):
+                return True
+        for i, stmt in enumerate(block.stmts):
+            exp = stmt.exp
+            if isinstance(exp, A.Map):
+                child = ctx.extended()
+                self._assume(child, exp.lam.params[0], exp.width)
+                if self._block(exp.lam.body, child, f"{path}[{i}].map"):
+                    return True
+            elif isinstance(exp, A.Loop):
+                child = ctx.extended()
+                self._assume(child, exp.index, exp.count)
+                if self._block(exp.body, child, f"{path}[{i}].loop"):
+                    return True
+            elif isinstance(exp, A.If):
+                for label, blk in (
+                    ("then", exp.then_block),
+                    ("else", exp.else_block),
+                ):
+                    if self._block(blk, ctx.extended(), f"{path}[{i}].{label}"):
+                        return True
+        return False
+
+    @staticmethod
+    def _assume(ctx: Context, var: str, count: SymExpr) -> None:
+        ctx.assume_range(var, sym(0), count - 1)
+
+    @staticmethod
+    def _add_defines(block: A.Block, ctx: Context) -> None:
+        for stmt in block.stmts:
+            if isinstance(stmt.exp, A.ScalarE):
+                name = stmt.names[0]
+                expr = stmt.exp.expr
+                if name not in expr.free_vars():
+                    try:
+                        ctx.define(name, expr)
+                    except ValueError:
+                        pass
+
+    # ------------------------------------------------------------------
+    # Candidate recognition
+    # ------------------------------------------------------------------
+    def _is_producer(self, stmt: A.Let) -> bool:
+        exp = stmt.exp
+        if not isinstance(exp, A.Map) or len(stmt.pattern) != 1:
+            return False
+        pe = stmt.pattern[0]
+        if not pe.is_array() or pe.mem is None:
+            return False
+        assert isinstance(pe.type, ArrayType)
+        if len(pe.type.shape) != 1:
+            return False  # per-thread result is not a scalar
+        body = exp.lam.body
+        if len(body.result) != 1:
+            return False
+        return all(_pure_scalar_stmt(s) for s in body.stmts)
+
+    # ------------------------------------------------------------------
+    # One fusion attempt
+    # ------------------------------------------------------------------
+    def _try_fuse(
+        self,
+        block: A.Block,
+        pi: int,
+        pstmt: A.Let,
+        ctx: Context,
+        path: str,
+    ) -> bool:
+        inter = pstmt.names[0]
+        pexp = pstmt.exp
+        assert isinstance(pexp, A.Map)
+        loc = f"{path}[{pi}]: {inter}"
+        self.stats.attempted += 1
+
+        # -- condition 2a: the intermediate must not leave the block ----
+        if inter in block.result:
+            self.stats.fail("escapes-block-result", loc)
+            return False
+        assert self.aliases is not None
+        if self.aliases.closure(inter) != frozenset({inter}):
+            self.stats.fail("alias-escapes", loc)
+            return False
+
+        # -- condition 1: exactly one consuming statement, a map --------
+        consumers = [
+            (ci, s)
+            for ci, s in enumerate(block.stmts[pi + 1 :], start=pi + 1)
+            if inter in A.exp_uses(s.exp)
+        ]
+        if not consumers:
+            self.stats.fail("no-consumer", loc)
+            return False
+        if len(consumers) > 1:
+            self.stats.fail("multi-use", loc)
+            return False
+        ci, consumer = consumers[0]
+        cexp = consumer.exp
+        if not isinstance(cexp, A.Map):
+            self.stats.fail("consumer-not-map", loc)
+            return False
+        if inter not in consumer.last_uses:
+            self.stats.fail("not-last-use", loc)
+            return False
+
+        # -- condition 2b: the memory block is exclusively the inter's --
+        pmem = binding_of(pstmt.pattern[0]).mem
+        sharers = {n for n, b in self.bindings.items() if b.mem == pmem}
+        if pmem not in self.allocated or sharers != {inter}:
+            self.stats.fail("mem-shared", loc)
+            return False
+
+        # -- condition 4a: no intervening write to producer inputs ------
+        read_mems = self._read_mems(pexp.lam.body)
+        for mid in block.stmts[pi + 1 : ci]:
+            written = self._written_mems(mid)
+            if written & (read_mems | {pmem}):
+                self.stats.fail("intervening-write", loc)
+                return False
+
+        # -- condition 4b: fused kernel's writes vs inlined reads -------
+        dest_mems = {
+            binding_of(pe).mem
+            for pe in consumer.pattern
+            if pe.is_array() and pe.mem is not None
+        }
+        cons_writes = dest_mems | self._written_mems(consumer)
+        collisions = cons_writes & read_mems
+        if collisions and not self._proves_disjoint(
+            ctx, consumer, collisions, pexp.lam.body
+        ):
+            self.stats.fail("consumer-overwrites-input", loc)
+            return False
+
+        # -- condition 5: capture-free inlining -------------------------
+        pfree = A.exp_uses(pexp) | pexp.width.free_vars()
+        if pfree & _bound_names(cexp.lam.body.stmts):
+            self.stats.fail("shadowed-free-var", loc)
+            return False
+
+        # -- condition 3: collect read sites + coverage proofs ----------
+        try:
+            sites = self._collect_sites(cexp, inter, ctx)
+        except _SiteFailure as f:
+            self.stats.fail(f.reason, loc)
+            return False
+
+        # ---------------------------------------------------------------
+        # Commit: inline at every read site, delete the producer.  Sites
+        # sharing a block are spliced back-to-front so that the splice at
+        # one site (1 stmt -> k stmts) does not shift the recorded index
+        # of an earlier site in the same statement list.
+        # ---------------------------------------------------------------
+        for site in sorted(sites, key=lambda s: s.index, reverse=True):
+            self._inline_site(site, pstmt, pexp)
+        del block.stmts[pi]  # splices happened inside the consumer's lambda
+        pe = pstmt.pattern[0]
+        assert isinstance(pe.type, ArrayType)
+        consumer.fused = consumer.fused + (
+            A.FusedRecord(
+                producer=inter,
+                mem=pmem,
+                width=pexp.width,
+                elem_bytes=DTYPE_INFO[pe.type.dtype][1],
+                reads=len(sites),
+                write_mems=tuple(sorted(dest_mems | {pmem})),
+            ),
+        )
+        self.stats.committed += 1
+        self.stats.committed_pairs.append((inter, consumer.names))
+        return True
+
+    # ------------------------------------------------------------------
+    def _read_mems(self, body: A.Block) -> Set[str]:
+        """Memory blocks the (pure scalar) producer body reads."""
+        out: Set[str] = set()
+        for stmt in iter_stmts(body):
+            if isinstance(stmt.exp, A.Index):
+                b = self.bindings.get(stmt.exp.src)
+                if b is not None:
+                    out.add(b.mem)
+        return out
+
+    def _written_mems(self, stmt: A.Let) -> Set[str]:
+        """Memory blocks a statement (incl. nested code) may write."""
+        out: Set[str] = set()
+        writing = (
+            A.Copy, A.Concat, A.Iota, A.Replicate, A.Update, A.Map,
+        )
+
+        def of(s: A.Let) -> None:
+            if isinstance(s.exp, writing):
+                for pe in s.pattern:
+                    if pe.is_array() and pe.mem is not None:
+                        out.add(binding_of(pe).mem)
+            for blk in A.sub_blocks(s.exp):
+                for sub in blk.stmts:
+                    of(sub)
+
+        of(stmt)
+        return out
+
+    def _proves_disjoint(
+        self,
+        ctx: Context,
+        consumer: A.Let,
+        collisions: Set[str],
+        pbody: A.Block,
+    ) -> bool:
+        """Same block written and read: prove region disjointness.
+
+        Short-circuiting legitimately creates distinct arrays sharing a
+        block; when the fused kernel writes such a block and the inlined
+        producer body reads it, the LMAD non-overlap test must separate
+        the two regions, else the interleaved execution could observe a
+        consumer write the original producer ran before.
+        """
+        prover = Prover(ctx)
+        checker = NonOverlapChecker(prover)
+        writes = []
+        for pe in consumer.pattern:
+            if pe.is_array() and pe.mem is not None:
+                b = binding_of(pe)
+                if b.mem in collisions:
+                    writes.append(b)
+        reads = []
+        for stmt in iter_stmts(pbody):
+            if isinstance(stmt.exp, A.Index):
+                b = self.bindings.get(stmt.exp.src)
+                if b is not None and b.mem in collisions:
+                    reads.append(b)
+        if not writes or not reads:
+            return False  # a nested write collided: too coarse, give up
+        for w in writes:
+            wl = w.ixfn.as_single()
+            if wl is None:
+                return False
+            for r in reads:
+                rl = r.ixfn.as_single()
+                if rl is None or not checker.check(wl, rl):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _collect_sites(
+        self, cexp: A.Map, inter: str, ctx: Context
+    ) -> List[_ReadSite]:
+        """Find every read of ``inter`` in the consumer; prove coverage."""
+        sites: List[_ReadSite] = []
+        width = cexp.width
+        base: List[Tuple[str, SymExpr, SymExpr]] = [
+            (cexp.lam.params[0], sym(0), width - 1)
+        ]
+
+        def walk(block: A.Block, ranges) -> None:
+            if inter in block.result:
+                raise _SiteFailure("non-index-use")
+            for i, stmt in enumerate(block.stmts):
+                exp = stmt.exp
+                if isinstance(exp, A.Index) and exp.src == inter:
+                    if len(exp.indices) != 1:
+                        raise _SiteFailure("non-scalar-read")
+                    sites.append(_ReadSite(block, i, stmt, list(ranges)))
+                    continue
+                sub = A.sub_blocks(exp)
+                if not sub:
+                    if inter in A.exp_uses(exp):
+                        raise _SiteFailure("non-index-use")
+                    continue
+                # Direct (non-body) operands of compound statements.
+                direct: Set[str] = set()
+                if isinstance(exp, A.Loop):
+                    direct |= {init for _, init in exp.carried}
+                    direct |= exp.count.free_vars()
+                elif isinstance(exp, A.Map):
+                    direct |= exp.width.free_vars()
+                elif isinstance(exp, A.If):
+                    direct |= A.operand_vars(exp.cond)
+                if inter in direct:
+                    raise _SiteFailure("non-index-use")
+                extra = list(ranges)
+                if isinstance(exp, A.Loop):
+                    extra.append((exp.index, sym(0), exp.count - 1))
+                elif isinstance(exp, A.Map):
+                    extra.append(
+                        (exp.lam.params[0], sym(0), exp.width - 1)
+                    )
+                for blk in sub:
+                    walk(blk, extra)
+
+        walk(cexp.lam.body, base)
+        if not sites:
+            raise _SiteFailure("non-index-use")
+
+        # Coverage: compose the read with the intermediate's index
+        # function; for the rank-1 fresh array this is the identity on
+        # the index, so the producer-write-set coverage obligation is the
+        # range proof 0 <= e < width under the enclosing index ranges.
+        pwidth = self.bindings[inter].ixfn.shape[0]
+        for site in sites:
+            sctx = ctx.extended()
+            for var, lo, hi in site.ranges:
+                sctx.assume_range(var, lo, hi)
+            prover = Prover(sctx)
+            e = site.stmt.exp.indices[0]
+            if not (prover.nonneg(e) and prover.nonneg(pwidth - 1 - e)):
+                raise _SiteFailure("read-out-of-range")
+        return sites
+
+    # ------------------------------------------------------------------
+    def _inline_site(
+        self, site: _ReadSite, pstmt: A.Let, pexp: A.Map
+    ) -> None:
+        """Splice a renamed copy of the producer body over one read."""
+        self._suffix += 1
+        tag = f"__f{self._suffix}"
+        tvar = pexp.lam.params[0]
+        body = pexp.lam.body
+        res = body.result[0]
+        vname = site.stmt.names[0]
+        vtype = site.stmt.pattern[0].type
+
+        mapping = {n: f"{n}{tag}" for n in _bound_names(body.stmts)}
+        mapping[tvar] = f"{tvar}{tag}"
+        if res != tvar:
+            # The producer's result binding directly becomes the read's
+            # bound name; everything else gets a fresh suffix.
+            mapping[res] = vname
+
+        e = site.stmt.exp.indices[0]
+        new_stmts: List[A.Let] = [
+            A.Let(
+                [A.PatElem(mapping[tvar], ScalarType("i64"))],
+                A.ScalarE(sym(e)),
+            )
+        ]
+        new_stmts.extend(_ren_stmts(body.stmts, mapping))
+        if res == tvar:
+            # map (i < w) { i }: the value *is* the thread index.
+            new_stmts.append(
+                A.Let(
+                    [A.PatElem(vname, vtype)],
+                    A.ScalarE(SymExpr.var(mapping[tvar])),
+                )
+            )
+        site.block.stmts[site.index : site.index + 1] = new_stmts
+
+
+# ----------------------------------------------------------------------
+def fuse_fun(fun: A.Fun, max_rounds: int = 10) -> FuseStats:
+    """Run producer-consumer fusion to a fixpoint on ``fun`` (in place)."""
+    return _Fuser(fun, max_rounds=max_rounds).run()

@@ -256,6 +256,6 @@ def test_verify_option_raises_on_broken_pass(monkeypatch):
 def test_verify_option_clean_program_keeps_reports():
     cf = compile_fun(simple_fun(), verify=True)
     assert set(cf.verify_reports) == {
-        "introduce_memory", "hoist+last_use", "short_circuit", "reuse"
+        "introduce_memory", "hoist+last_use", "short_circuit", "fuse", "reuse"
     }
     assert all(r.ok() for r in cf.verify_reports.values())

@@ -7,11 +7,12 @@ from repro.bench.harness import (
     Row,
     compile_both,
     measure_dataset,
+    measure_fusion,
     row_for,
     run_table,
     validate,
 )
-from repro.bench.programs import hotspot, nw
+from repro.bench.programs import hotspot, nn, nw
 from repro.gpu import A100, MI100
 
 
@@ -55,3 +56,21 @@ class TestReport:
         rep = BenchReport("x", rows=[Row("A100", "d", 1.0, 0.5, 1.0, 2.0)])
         text = rep.render()
         assert "0.50x" in text and "2.00x" in text and "1.00ms" in text
+
+
+class TestFusionDifferential:
+    def test_measure_fusion_on_staged_benchmark(self):
+        out = measure_fusion(nn, nn.TEST_DATASETS["small"])
+        assert out["committed"] == 1
+        assert out["outputs_equal"]
+        assert out["fused_traffic"] < out["unfused_traffic"]
+        assert out["no_vec_fallback"]
+        assert out["fused_kernels"] >= 1 and out["bytes_elided"] > 0
+        assert out["ok"]
+
+    def test_measure_fusion_without_candidates(self):
+        # NW has no two-stage map pipeline: traffic must be *identical*.
+        out = measure_fusion(nw, nw.TEST_DATASETS["tiny"])
+        assert out["committed"] == 0
+        assert out["fused_traffic"] == out["unfused_traffic"]
+        assert out["ok"]

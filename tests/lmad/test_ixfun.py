@@ -163,3 +163,30 @@ class TestLmadSlice:
         assert got.shape == (iv + 1, bv + 1)
         # First vertical bar starts at flat i*b = 2, column stride n.
         assert list(got[0]) == [2, 9, 16]
+
+
+class TestInstanceMemoization:
+    """Derivation results are cached on the (frozen) instance: the hot
+    executor paths re-derive the same handful of index functions per
+    thread/iteration, so repeated calls must return the same object."""
+
+    def test_fix_dim_is_cached(self):
+        f = IndexFn.row_major([n, m])
+        assert f.fix_dim(0, 3) is f.fix_dim(0, 3)
+        assert f.fix_dim(0, 3) is not f.fix_dim(0, 4)
+
+    def test_substitute_is_cached(self):
+        f = IndexFn.row_major([n])
+        assert f.substitute({"n": 8}) is f.substitute({"n": 8})
+        assert f.substitute({"n": 8}) is not f.substitute({"n": 9})
+
+    def test_lmad_slice_is_cached(self):
+        f = IndexFn.row_major([sym(64)])
+        s = lmad(0, [(8, 2)])
+        assert f.lmad_slice(s) is f.lmad_slice(s)
+
+    def test_caches_do_not_affect_equality_or_hash(self):
+        a = IndexFn.row_major([n])
+        b = IndexFn.row_major([n])
+        a.fix_dim(0, 1)  # populate a cache on one side only
+        assert a == b and hash(a) == hash(b)

@@ -48,10 +48,52 @@ def test_debug_mode_matches_normal_execution():
     assert np.array_equal(got_d, x * 2)
 
 
-def test_debug_requires_real_mode():
+def test_dry_debug_runs_bounds_only():
+    # Dry mode has no data to shadow, but debug=True still bounds-checks
+    # every region analytically; a clean program passes.
     fun = compile_fun(_double_map()).fun
-    with pytest.raises(ValueError):
-        MemExecutor(fun, mode="dry", debug=True)
+    MemExecutor(fun, mode="dry", debug=True).run(n=1 << 20)
+
+
+def test_dry_debug_negative_offset_is_out_of_bounds():
+    # The analytic bounds check works at paper-scale extents where real
+    # shadow memory would be prohibitive.
+    fun = compile_fun(_double_map(), short_circuit=False).fun
+    pe = _map_pat(fun)
+    b = binding_of(pe)
+    pe.mem = MemBinding(b.mem, IndexFn((lmad(-1, [(SymExpr.var("n"), 1)]),)))
+    MemExecutor(fun, mode="dry").run(n=1 << 24)  # unnoticed without debug
+    with pytest.raises(OutOfBoundsError):
+        MemExecutor(fun, mode="dry", debug=True).run(n=1 << 24)
+
+
+def test_dry_debug_offset_past_end_is_out_of_bounds():
+    fun = compile_fun(_double_map(), short_circuit=False).fun
+    pe = _map_pat(fun)
+    b = binding_of(pe)
+    pe.mem = MemBinding(b.mem, IndexFn((lmad(1, [(SymExpr.var("n"), 1)]),)))
+    with pytest.raises(OutOfBoundsError):
+        MemExecutor(fun, mode="dry", debug=True).run(n=1 << 24)
+
+
+def test_dry_debug_copy_region_checked():
+    b = FunBuilder("f")
+    x = b.param("x", f32(n))
+    c = b.copy(x)
+    b.returns(c)
+    fun = compile_fun(b.build(), short_circuit=False).fun
+    for stmt in iter_stmts(fun.body):
+        if isinstance(stmt.exp, A.Copy):
+            pe = stmt.pattern[0]
+            bd = binding_of(pe)
+            pe.mem = MemBinding(
+                bd.mem, IndexFn((lmad(1, [(SymExpr.var("n"), 1)]),))
+            )
+            break
+    else:
+        raise AssertionError("no copy survived")
+    with pytest.raises(OutOfBoundsError):
+        MemExecutor(fun, mode="dry", debug=True).run(n=1 << 24)
 
 
 def test_negative_offset_is_out_of_bounds():

@@ -1,0 +1,71 @@
+"""Hypothesis-lite generator of two-stage map pipelines for fusion tests.
+
+A *two-stage pipeline* is the canonical fusion candidate: a producer map
+computing a random scalar expression from an input array, and a consumer
+map reading the producer's result at a random in-range index pattern and
+post-processing it.  The generator is deliberately dependency-free (a
+seeded ``numpy.random.RandomState`` instead of hypothesis strategies):
+fusion tests want a *fixed, reproducible* corpus so that the committed /
+rejected counts asserted alongside the semantics stay stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import FunBuilder, f32
+from repro.ir.ast import Fun
+from repro.symbolic import Var
+
+#: Binops closed over f32 without introducing NaNs on random data.
+BINOPS = ["+", "-", "*", "max", "min"]
+UNOPS = ["neg", "abs"]
+
+n = Var("n")
+
+
+def random_two_stage_pipeline(rng: np.random.RandomState) -> Fun:
+    """A random producer map feeding a random consumer map.
+
+    The producer computes 1-4 random scalar ops over ``xs[i]``; the
+    consumer reads the intermediate at either ``i`` (pointwise) or
+    ``n-1-i`` (reflected -- still provably in range, exercising the
+    LMAD-composition legality proof beyond the identity case), possibly
+    at two sites, and applies 1-3 more random ops.  Every generated
+    program is a legal fusion candidate: the intermediate has exactly one
+    consumer and does not escape.
+    """
+    b = FunBuilder("pipe")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+
+    mp = b.map_(n, index="i")
+    v = mp.index(xs, [mp.idx])
+    for _ in range(rng.randint(1, 5)):
+        if rng.rand() < 0.25:
+            v = mp.unop(UNOPS[rng.randint(len(UNOPS))], v)
+        else:
+            c = float(rng.randint(-3, 4))
+            v = mp.binop(BINOPS[rng.randint(len(BINOPS))], v, c)
+    mp.returns(v)
+    (inter,) = mp.end()
+
+    mc = b.map_(n, index="j")
+    sites = [mc.idx, n - 1 - mc.idx]
+    w = mc.index(inter, [sites[rng.randint(2)]])
+    if rng.rand() < 0.4:  # a second read site of the same intermediate
+        w2 = mc.index(inter, [sites[rng.randint(2)]])
+        w = mc.binop(BINOPS[rng.randint(len(BINOPS))], w, w2)
+    for _ in range(rng.randint(1, 4)):
+        c = float(rng.randint(-3, 4))
+        w = mc.binop(BINOPS[rng.randint(len(BINOPS))], w, c)
+    mc.returns(w)
+    (out,) = mc.end()
+    b.returns(out)
+    return b.build()
+
+
+@pytest.fixture
+def gen_pipeline():
+    return random_two_stage_pipeline

@@ -1,0 +1,207 @@
+"""Producer-consumer fusion: semantics, accounting, and rejection paths.
+
+The positive tests run a fixed corpus of randomly generated two-stage map
+pipelines (see conftest) through both the fused and the ``fuse=False``
+ablation pipeline and require *bit-identical* outputs on both executor
+tiers -- fusion changes where the intermediate lives, never a single
+floating-point operation -- plus a strict simulated-traffic decrease.
+
+The negative tests pin each legality gate to the program shape that
+trips it: an escaping intermediate, a multiply-consumed one, a consumer
+that is not a map, a read the range prover cannot bound, and a write to
+the producer's input between the two maps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_fun
+from repro.ir import FunBuilder, f32
+from repro.mem.codegen import generate_code
+from repro.mem.exec import MemExecutor
+from repro.symbolic import Var
+
+n = Var("n")
+N = 11
+
+
+def _gather(ex, val):
+    return ex.mem[val.mem][val.ixfn.gather_offsets({})]
+
+
+def _run(cf, xs, vectorize):
+    ex = MemExecutor(cf.fun, vectorize=vectorize)
+    (val,), stats = ex.run(n=len(xs), xs=xs.copy())
+    return _gather(ex, val), stats
+
+
+def _simple_pipeline():
+    """xs -> (xs[i] * xs[i]) -> (+1): the minimal fusion candidate."""
+    b = FunBuilder("pipe")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    mp = b.map_(n, index="i")
+    v = mp.index(xs, [mp.idx])
+    mp.returns(mp.binop("*", v, v))
+    (inter,) = mp.end()
+    mc = b.map_(n, index="j")
+    mc.returns(mc.binop("+", mc.index(inter, [mc.idx]), 1.0))
+    (out,) = mc.end()
+    b.returns(out)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# Property-style corpus: fusion is output-preserving
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(30))
+def test_fusion_preserves_outputs_on_random_pipelines(seed, gen_pipeline):
+    rng = np.random.RandomState(seed)
+    fun = gen_pipeline(rng)
+    xs = rng.randn(N).astype(np.float32)
+
+    fused = compile_fun(fun, verify=True)
+    unfused = compile_fun(fun, fuse=False)
+    assert fused.fuse_stats.committed == 1, fused.fuse_stats.summary()
+    assert all(r.ok for r in fused.verify_reports.values())
+
+    outs = {}
+    for label, cf in (("fused", fused), ("unfused", unfused)):
+        for vec in (False, True):
+            outs[(label, vec)], _ = _run(cf, xs, vec)
+    for vec in (False, True):
+        assert np.array_equal(outs[("fused", vec)], outs[("unfused", vec)])
+    # All four runs agree (tier equivalence holds within each pipeline too).
+    assert np.array_equal(outs[("fused", False)], outs[("fused", True)])
+
+    _, dry_f = MemExecutor(fused.fun, mode="dry").run(n=64)
+    _, dry_u = MemExecutor(unfused.fun, mode="dry").run(n=64)
+    assert dry_f.bytes_total < dry_u.bytes_total
+
+
+def test_fused_body_still_vectorizes():
+    cf = compile_fun(_simple_pipeline())
+    assert cf.fuse_stats.committed == 1
+    xs = np.arange(8, dtype=np.float32)
+    _, stats = _run(cf, xs, vectorize=True)
+    assert stats.vec_launches == 1 and stats.interp_launches == 0
+
+
+def test_fused_accounting_is_tier_and_mode_identical():
+    cf = compile_fun(_simple_pipeline())
+    xs = np.arange(8, dtype=np.float32)
+    _, st_i = _run(cf, xs, vectorize=False)
+    _, st_v = _run(cf, xs, vectorize=True)
+    _, st_d = MemExecutor(cf.fun, mode="dry").run(n=8)
+    for st in (st_i, st_v, st_d):
+        assert st.fused_kernels == 1
+        # One [8]f32 intermediate: 32 bytes written + 32 read back elided.
+        assert st.bytes_elided_fusion == 64
+    assert st_i.signature() == st_v.signature() == st_d.signature()
+
+
+def test_codegen_marks_fused_kernel():
+    code = generate_code(compile_fun(_simple_pipeline()).fun)
+    assert "fused producer" in code
+    assert code.count("__global__") == 1
+
+
+# ----------------------------------------------------------------------
+# Rejection paths
+# ----------------------------------------------------------------------
+def _expect_rejected(fun, reason):
+    cf = compile_fun(fun)
+    assert cf.fuse_stats.committed == 0, cf.fuse_stats.summary()
+    assert reason in cf.fuse_stats.failures, cf.fuse_stats.summary()
+    return cf
+
+
+def test_escaping_intermediate_is_rejected():
+    b = FunBuilder("escape")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(xs, [mp.idx]), 2.0))
+    (inter,) = mp.end()
+    mc = b.map_(n, index="j")
+    mc.returns(mc.binop("+", mc.index(inter, [mc.idx]), 1.0))
+    (out,) = mc.end()
+    b.returns(out, inter)  # the intermediate escapes as a result
+    _expect_rejected(b.build(), "escapes-block-result")
+
+
+def test_multi_use_intermediate_is_rejected():
+    b = FunBuilder("multiuse")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(xs, [mp.idx]), 2.0))
+    (inter,) = mp.end()
+    outs = []
+    for j, c in (("j", 1.0), ("k", 2.0)):
+        mc = b.map_(n, index=j)
+        mc.returns(mc.binop("+", mc.index(inter, [mc.idx]), c))
+        outs.append(mc.end()[0])
+    b.returns(*outs)
+    _expect_rejected(b.build(), "multi-use")
+
+
+def test_non_map_consumer_is_rejected():
+    b = FunBuilder("copyuse")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(xs, [mp.idx]), 2.0))
+    (inter,) = mp.end()
+    b.returns(b.copy(inter))
+    _expect_rejected(b.build(), "consumer-not-map")
+
+
+def test_unprovable_read_range_is_rejected():
+    """A reordering read the prover cannot bound within the producer."""
+    b = FunBuilder("oob")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(xs, [mp.idx]), 2.0))
+    (inter,) = mp.end()
+    mc = b.map_(n, index="j")
+    mc.returns(mc.binop("+", mc.index(inter, [mc.idx + 1]), 1.0))
+    (out,) = mc.end()
+    b.returns(out)
+    _expect_rejected(b.build(), "read-out-of-range")
+
+
+def test_intervening_write_to_producer_input_is_rejected():
+    b = FunBuilder("interleave")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    xc = b.copy(xs)
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(xc, [mp.idx]), 2.0))
+    (inter,) = mp.end()
+    upd = b.update_point(xc, [0], b.lit(7.0, "f32"))
+    mc = b.map_(n, index="j")
+    mc.returns(mc.binop("+", mc.index(inter, [mc.idx]), 1.0))
+    (out,) = mc.end()
+    b.returns(out, upd)
+    _expect_rejected(b.build(), "intervening-write")
+
+
+def test_reflected_read_is_still_fused():
+    """n-1-j stays provably in range: reordering alone is not a blocker."""
+    b = FunBuilder("reflect")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(xs, [mp.idx]), 2.0))
+    (inter,) = mp.end()
+    mc = b.map_(n, index="j")
+    mc.returns(mc.binop("+", mc.index(inter, [n - 1 - mc.idx]), 1.0))
+    (out,) = mc.end()
+    b.returns(out)
+    cf = compile_fun(b.build())
+    assert cf.fuse_stats.committed == 1
+    xs_v = np.arange(6, dtype=np.float32)
+    got, _ = _run(cf, xs_v, vectorize=False)
+    assert np.array_equal(got, (xs_v * 2.0)[::-1] + 1.0)
