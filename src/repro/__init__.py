@@ -23,12 +23,26 @@ from repro.compiler import CompiledFun, compile_fun
 from repro.ir import FunBuilder, boolean, f32, f64, i64, run_fun
 from repro.ir.parser import parse_fun
 from repro.ir.pretty import pretty_fun
+from repro.pipeline import (
+    PRESETS,
+    CompileContext,
+    PassManager,
+    PipelineTrace,
+    build_pipeline,
+    preset_pipeline,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CompiledFun",
     "compile_fun",
+    "PRESETS",
+    "CompileContext",
+    "PassManager",
+    "PipelineTrace",
+    "build_pipeline",
+    "preset_pipeline",
     "FunBuilder",
     "run_fun",
     "parse_fun",

@@ -4,12 +4,16 @@
     python -m repro.analysis --all        # all seven benchmarks
     python -m repro.analysis --list       # available benchmarks
     python -m repro.analysis prog.py      # a file with a build() -> Fun
+    python -m repro.analysis --all --pipeline sc+fuse
+                                          # one pipeline preset only
 
-Each program is compiled twice (with and without short-circuiting) and
-every pipeline stage's output is verified: well-formedness of the memory
-annotations, index-function bounds, last-use/ordering consistency, and
-read/write race-freedom.  Exit status is nonzero when any report has
-errors or warnings.
+Each program is compiled under the named pipeline presets (default: all
+four -- ``unopt``, ``sc``, ``sc+fuse``, ``full``; see
+:mod:`repro.pipeline.presets`) and the final IR of every preset is
+verified: well-formedness of the memory annotations, index-function
+bounds, last-use/ordering consistency, read/write race-freedom, fusion
+provenance and frees annotations.  Exit status is nonzero when any
+report has errors or warnings.
 """
 
 from __future__ import annotations
@@ -18,11 +22,11 @@ import argparse
 import importlib.util
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import List
 
 from repro.analysis.verifier import verify_fun
 from repro.compiler import compile_fun
-from repro.ir import ast as A
+from repro.pipeline import PRESETS
 
 
 def _load_file(path: Path):
@@ -34,15 +38,6 @@ def _load_file(path: Path):
     if not hasattr(module, "build"):
         raise SystemExit(f"{path} does not define build() -> Fun")
     return module
-
-
-def _pipelines(
-    fun: A.Fun, opt_only: bool, unopt_only: bool
-) -> Iterator[Tuple[str, A.Fun]]:
-    if not opt_only:
-        yield "unopt", compile_fun(fun, short_circuit=False).fun
-    if not unopt_only:
-        yield "opt", compile_fun(fun, short_circuit=True).fun
 
 
 def main(argv=None) -> int:
@@ -58,10 +53,16 @@ def main(argv=None) -> int:
                         help="verify every registered benchmark")
     parser.add_argument("--list", action="store_true",
                         help="list available benchmarks")
+    parser.add_argument("--pipeline", action="append", choices=list(PRESETS),
+                        metavar="PRESET",
+                        help="pipeline preset(s) to verify "
+                             f"({', '.join(PRESETS)}; default: all)")
     parser.add_argument("--opt-only", action="store_true",
-                        help="only the short-circuited pipeline")
+                        help="only the fully optimized pipeline "
+                             "(alias for --pipeline full)")
     parser.add_argument("--unopt-only", action="store_true",
-                        help="only the non-short-circuited pipeline")
+                        help="only the unoptimized pipeline "
+                             "(alias for --pipeline unopt)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="also show NOTE-level findings")
     args = parser.parse_args(argv)
@@ -80,6 +81,12 @@ def main(argv=None) -> int:
     if not names:
         parser.error("no programs given (try --all or --list)")
 
+    presets: List[str] = args.pipeline or list(PRESETS)
+    if args.opt_only:
+        presets = ["full"]
+    if args.unopt_only:
+        presets = ["unopt"]
+
     failed = False
     for name in names:
         if name in registry:
@@ -89,10 +96,9 @@ def main(argv=None) -> int:
         else:
             print(f"unknown benchmark or file: {name}", file=sys.stderr)
             return 2
-        for stage, compiled in _pipelines(
-            fun, args.opt_only, args.unopt_only
-        ):
-            report = verify_fun(compiled, stage=stage)
+        for preset in presets:
+            compiled = compile_fun(fun, pipeline=preset)
+            report = verify_fun(compiled.fun, stage=preset)
             print(report.render(show_notes=args.verbose))
             if not report.ok():
                 failed = True

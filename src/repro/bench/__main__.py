@@ -7,6 +7,9 @@
     python -m repro.bench --filter hot    # names containing "hot"
     python -m repro.bench --quick --json  # + executor-tier wall clock,
                                           # written to benchmarks/results/
+    python -m repro.bench nw --explain    # per-pass pipeline trace
+                                          # (timings, IR deltas,
+                                          # rejection diagnostics)
     python -m repro.bench --list          # available benchmarks
 """
 
@@ -85,6 +88,10 @@ def main(argv=None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="measure executor tiers and write a "
                              "benchmarks/results/BENCH_<ts>.json report")
+    parser.add_argument("--explain", action="store_true",
+                        help="print each benchmark's optimized-pipeline "
+                             "trace: per-pass timings, IR size/alloc "
+                             "deltas, and rejection diagnostics")
     parser.add_argument("--write-footprint-baseline", action="store_true",
                         help="record current peak footprints as the "
                              "regression baseline "
@@ -151,6 +158,9 @@ def main(argv=None) -> int:
         if report.validation_ran and not report.validated:
             failed.append(name)
 
+        if args.explain:
+            print(report.traces["opt"].render())
+
         footprint = measure_footprint(module, PERF_DATASETS[name], compiled)
         opt_fp = footprint["opt"]
         print(f"footprint (opt): peak {opt_fp['peak_bytes']:,} / "
@@ -204,6 +214,10 @@ def main(argv=None) -> int:
             "short_circuits": report.sc_committed,
             "dead_copy_reuses": report.sc_reused_copies,
             "sc_rejected": dict(report.sc_failures),
+            "pipeline_trace": {
+                label: trace.to_dict()
+                for label, trace in report.traces.items()
+            },
             "engine": engine,
             "rows": [
                 {

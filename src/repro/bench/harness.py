@@ -63,6 +63,11 @@ class BenchReport:
     sc_failures: Dict[str, int] = field(default_factory=dict)
     sc_failure_records: List = field(default_factory=list)
     compile_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Pipeline label ("unopt" / "opt") -> the compilation's structured
+    #: :class:`repro.pipeline.PipelineTrace` (per-pass timings, IR
+    #: deltas, rejection diagnostics); rendered by ``--explain`` and
+    #: serialized into the ``--json`` report.
+    traces: Dict[str, object] = field(default_factory=dict)
 
     def render(self) -> str:
         head = (
@@ -371,6 +376,10 @@ def run_table(
     report.compile_seconds = {
         "unopt": compiled[0].compile_seconds,
         "opt": compiled[1].compile_seconds,
+    }
+    report.traces = {
+        "unopt": compiled[0].trace,
+        "opt": compiled[1].trace,
     }
     if do_validate:
         report.validated = validate(module, "small", compiled)

@@ -1,4 +1,4 @@
-"""The compilation pipeline: source IR to memory-annotated executable IR.
+"""The compilation pipeline driver: source IR to executable memory IR.
 
 Mirrors the relevant slice of the Futhark pipeline the paper extends:
 
@@ -9,40 +9,55 @@ Mirrors the relevant slice of the Futhark pipeline the paper extends:
 5. **array short-circuiting** (:mod:`repro.opt.shortcircuit`) -- optional,
    so the unoptimized pipeline is the paper's "Unopt. Futhark" baseline;
 6. dead-allocation cleanup;
-7. **producer-consumer fusion** (:mod:`repro.opt.fuse`) -- optional:
-   inlines a scalar ``map`` producer into its sole consumer so the
-   intermediate array (and its write+read round trip) disappears; runs
-   after short-circuiting (whose rebases it must respect) and before
-   reuse (fusion shrinks live ranges, giving the coalescer more room);
-8. **memory reuse** (:mod:`repro.reuse`) -- optional: coalesces
-   allocations with provably disjoint live ranges (another
-   dead-allocation sweep drops the merged-away ``alloc`` statements),
-   then annotates every statement with the blocks whose host-level
-   lifetime ends there (``Let.mem_frees``), which is what the executor's
-   peak-footprint accounting and the static estimator consume.
+7. **producer-consumer fusion** (:mod:`repro.opt.fuse`) -- optional;
+8. **memory reuse** (:mod:`repro.reuse`) -- optional: allocation
+   coalescing plus the ``mem_frees`` lifetime annotations.
+
+:func:`compile_fun` is a thin, kwarg-compatible wrapper over
+:mod:`repro.pipeline`: the flags (or a named ``pipeline=`` preset --
+``unopt``, ``sc``, ``sc+fuse``, ``full``) select an ordered pass list
+(:func:`repro.pipeline.build_pipeline`), and a
+:class:`~repro.pipeline.PassManager` runs it over a shared
+:class:`~repro.pipeline.CompileContext` (pooled Prover/NonOverlapChecker
+memos, derived-analysis validity ledger).  Every pass occurrence is
+individually timed under a unique stage key, and the whole run is
+recorded as a JSON-serializable :class:`~repro.pipeline.PipelineTrace`
+on :attr:`CompiledFun.trace` (``python -m repro.bench --explain`` pretty-
+prints it; ``REPRO_PRINT_AFTER=<pass>`` dumps IR snapshots).
 
 With ``verify=True`` the :mod:`repro.analysis` verifier re-checks the IR
-after memory introduction, after hoisting + last-use analysis, and after
-short-circuiting; any errors raise :class:`repro.analysis.VerificationError`
-with the offending stage attached, and all reports are kept on
-:attr:`CompiledFun.verify_reports` for inspection.
-
-Compile times are recorded per stage; the short-circuiting stage's share
-reproduces the compile-time overhead discussion of paper section V-D.
+at the declared checkpoints; any errors raise
+:class:`repro.analysis.VerificationError` with the offending stage
+attached, and all reports are kept on :attr:`CompiledFun.verify_reports`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.ir import ast as A
-from repro.ir.lastuse import analyze_last_uses
+from repro.ir.lastuse import analyze_last_uses  # noqa: F401  (test seam)
 from repro.ir.typecheck import typecheck_fun
 from repro.mem.hoist import hoist_allocations, remove_dead_allocations
 from repro.mem.introduce import introduce_memory
-from repro.opt.shortcircuit import ShortCircuitStats, short_circuit_fun
+from repro.opt.shortcircuit import ShortCircuitStats
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.analysis.diagnostics import Report
+    from repro.opt.fuse import FuseStats
+    from repro.pipeline.trace import PipelineTrace
+    from repro.reuse.coalesce import ReuseStats
+
+__all__ = [
+    "CompiledFun",
+    "compile_fun",
+    "typecheck_fun",
+    "introduce_memory",
+    "hoist_allocations",
+    "remove_dead_allocations",
+    "analyze_last_uses",
+]
 
 
 @dataclass
@@ -53,12 +68,20 @@ class CompiledFun:
     short_circuited: bool
     sc_stats: Optional[ShortCircuitStats]
     #: What the memory-reuse coalescer did (None when reuse=False).
-    reuse_stats: Optional["object"] = None
+    reuse_stats: Optional["ReuseStats"] = None
     #: What producer-consumer fusion did (None when fuse=False).
-    fuse_stats: Optional["object"] = None
+    fuse_stats: Optional["FuseStats"] = None
+    #: Unique stage key -> seconds; every pass occurrence gets its own
+    #: key (``dead_allocs``, ``dead_allocs#2``, ...) so repeated passes
+    #: never overwrite each other and ``compile_seconds`` is exact.
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     #: stage name -> verifier report, populated when compiled with verify=True
-    verify_reports: Dict[str, "object"] = field(default_factory=dict)
+    verify_reports: Dict[str, "Report"] = field(default_factory=dict)
+    #: Full structured observability record of the pipeline run.
+    trace: Optional["PipelineTrace"] = None
+    #: The preset this compilation corresponds to (``unopt``, ``sc``,
+    #: ``sc+fuse``, ``full``), or ``custom`` for other flag combinations.
+    pipeline: str = "custom"
 
     @property
     def compile_seconds(self) -> float:
@@ -77,8 +100,14 @@ def compile_fun(
     verify: bool = False,
     fuse: bool = True,
     reuse: bool = True,
+    pipeline: Optional[str] = None,
 ) -> CompiledFun:
     """Run the full pipeline on a source function (which is not mutated).
+
+    ``pipeline`` selects a named preset (``unopt``, ``sc``, ``sc+fuse``,
+    ``full``) and overrides the ``short_circuit``/``fuse``/``reuse``
+    flags; without it the flags pick the pass list directly (defaults ==
+    the ``full`` preset).
 
     ``verify=True`` runs the :mod:`repro.analysis` verifier after each
     memory-transforming stage and raises
@@ -93,63 +122,47 @@ def compile_fun(
     lifetime annotations; the differential tests compare against it to
     pin that reuse never changes outputs or traffic.
     """
-    stages: Dict[str, float] = {}
-    reports: Dict[str, object] = {}
+    from repro.pipeline import (
+        CompileContext,
+        PassManager,
+        PRESETS,
+        build_pipeline,
+        preset_for_flags,
+    )
 
-    def timed(name, thunk):
-        t0 = time.perf_counter()
-        out = thunk()
-        stages[name] = time.perf_counter() - t0
-        return out
+    if pipeline is not None:
+        if pipeline not in PRESETS:
+            raise KeyError(
+                f"unknown pipeline preset {pipeline!r} "
+                f"(available: {', '.join(PRESETS)})"
+            )
+        flags = PRESETS[pipeline]
+        short_circuit = flags["short_circuit"]
+        fuse = flags["fuse"]
+        reuse = flags["reuse"]
+        label = pipeline
+    else:
+        label = preset_for_flags(short_circuit, fuse, reuse) or "custom"
 
-    def checked(stage, target):
-        if not verify:
-            return
-        from repro.analysis import VerificationError, verify_fun
-
-        report = timed(f"verify[{stage}]", lambda: verify_fun(target, stage=stage))
-        reports[stage] = report
-        if not report.ok():
-            raise VerificationError(stage, report)
-
-    if typecheck:
-        timed("typecheck", lambda: typecheck_fun(fun))
-    mfun = timed("introduce_memory", lambda: introduce_memory(fun))
-    checked("introduce_memory", mfun)
-    timed("hoist", lambda: hoist_allocations(mfun))
-    timed("last_use", lambda: analyze_last_uses(mfun))
-    checked("hoist+last_use", mfun)
-    sc_stats: Optional[ShortCircuitStats] = None
-    if short_circuit:
-        sc_stats = timed(
-            "short_circuit",
-            lambda: short_circuit_fun(mfun, enable_splitting=enable_splitting),
-        )
-        timed("dead_allocs", lambda: remove_dead_allocations(mfun))
-        checked("short_circuit", mfun)
-    fuse_stats = None
-    if fuse:
-        from repro.opt.fuse import fuse_fun
-
-        fuse_stats = timed("fuse", lambda: fuse_fun(mfun))
-        if fuse_stats.committed:
-            timed("dead_allocs[fuse]", lambda: remove_dead_allocations(mfun))
-        checked("fuse", mfun)
-    reuse_stats = None
-    if reuse:
-        from repro.reuse import annotate_frees, reuse_allocations
-
-        reuse_stats = timed("reuse", lambda: reuse_allocations(mfun))
-        if reuse_stats.mapping:
-            timed("dead_allocs[reuse]", lambda: remove_dead_allocations(mfun))
-        timed("annotate_frees", lambda: annotate_frees(mfun))
-        checked("reuse", mfun)
+    ctx = CompileContext(
+        source=fun, verify=verify, enable_splitting=enable_splitting
+    )
+    passes = build_pipeline(
+        short_circuit=short_circuit,
+        fuse=fuse,
+        reuse=reuse,
+        typecheck=typecheck,
+    )
+    trace = PassManager(passes, name=label).run(ctx)
+    assert ctx.mfun is not None
     return CompiledFun(
-        mfun,
+        ctx.mfun,
         short_circuit,
-        sc_stats,
-        reuse_stats=reuse_stats,
-        fuse_stats=fuse_stats,
-        stage_seconds=stages,
-        verify_reports=reports,
+        ctx.sc_stats,
+        reuse_stats=ctx.reuse_stats,
+        fuse_stats=ctx.fuse_stats,
+        stage_seconds=trace.stage_seconds(),
+        verify_reports=ctx.verify_reports,
+        trace=trace,
+        pipeline=label,
     )

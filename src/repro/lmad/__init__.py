@@ -22,7 +22,7 @@ branches of an ``if`` return arrays with different layouts) lives in
 from repro.lmad.lmad import Lmad, LmadDim, dim, lmad
 from repro.lmad.ixfun import IndexFn
 from repro.lmad.interval import StridedInterval, SumOfIntervals
-from repro.lmad.overlap import NonOverlapChecker, lmads_nonoverlapping
+from repro.lmad.overlap import NonOverlapChecker, ProverPool, lmads_nonoverlapping
 from repro.lmad.aggregate import aggregate_over_loop, union_lmads
 from repro.lmad.antiunify import antiunify_ixfns, AntiUnifyResult
 
@@ -35,6 +35,7 @@ __all__ = [
     "StridedInterval",
     "SumOfIntervals",
     "NonOverlapChecker",
+    "ProverPool",
     "lmads_nonoverlapping",
     "aggregate_over_loop",
     "union_lmads",

@@ -197,6 +197,68 @@ def lmads_nonoverlapping(
     return checker.check(l1, l2)
 
 
+class ProverPool:
+    """Memoized :class:`Prover`/:class:`NonOverlapChecker` pairs per context.
+
+    One :class:`~repro.symbolic.Prover` per assumption :class:`Context`
+    object, shared across every query issued against that context, so the
+    prover's memo table amortizes over all clients instead of being
+    rebuilt per query batch.  A pool owned by a compilation (see
+    :class:`repro.pipeline.CompileContext`) extends the amortization
+    across *passes*: short-circuiting, fusion and reuse all consult the
+    same pool, and queries against the compilation's shared root context
+    hit memos populated by earlier passes.
+
+    Entries are keyed by ``id(ctx)`` and hold a strong reference to the
+    context so the key cannot be recycled; a rebuilt context is a new
+    object and transparently gets a fresh entry.  Contexts may gain facts
+    after registration (passes ``define`` scalar SSA equalities as they
+    walk) -- that only ever adds information, so memoized ``True``
+    answers stay sound and ``False`` answers stay conservative, exactly
+    as for a long-lived :class:`Prover` today.
+
+    Checkers are additionally keyed by their ``enable_splitting`` flag
+    (the prover itself is splitting-agnostic and shared between both
+    flavors).
+    """
+
+    def __init__(self) -> None:
+        self._provers: dict = {}
+        self._checkers: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._provers)
+
+    def prover_for(self, ctx) -> Prover:
+        """The pooled prover for ``ctx`` (created on first use)."""
+        ent = self._provers.get(id(ctx))
+        if ent is None or ent[0] is not ctx:
+            ent = (ctx, Prover(ctx))
+            self._provers[id(ctx)] = ent
+        return ent[1]
+
+    def checker_for(
+        self, ctx, enable_splitting: bool = True
+    ) -> "NonOverlapChecker":
+        """The pooled non-overlap checker for ``ctx``."""
+        key = (id(ctx), enable_splitting)
+        ent = self._checkers.get(key)
+        if ent is None or ent[0] is not ctx:
+            checker = NonOverlapChecker(
+                self.prover_for(ctx), enable_splitting=enable_splitting
+            )
+            ent = (ctx, checker)
+            self._checkers[key] = ent
+        return ent[1]
+
+    def pair_for(
+        self, ctx, enable_splitting: bool = True
+    ) -> "tuple[Prover, NonOverlapChecker]":
+        """(prover, checker) for ``ctx`` -- the common client shape."""
+        checker = self.checker_for(ctx, enable_splitting)
+        return checker.prover, checker
+
+
 def lmad_injective(l: Lmad, prover: Optional[Prover] = None) -> bool:
     """Sufficient static condition for an LMAD to denote distinct points.
 

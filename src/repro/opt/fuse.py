@@ -55,7 +55,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.lmad import NonOverlapChecker
+from repro.lmad import ProverPool
 from repro.symbolic import Context, Prover, SymExpr, sym
 
 from repro.ir import ast as A
@@ -217,14 +217,27 @@ class _SiteFailure(Exception):
 
 # ======================================================================
 class _Fuser:
-    def __init__(self, fun: A.Fun, max_rounds: int = 10):
+    def __init__(self, fun: A.Fun, max_rounds: int = 10, shared=None):
         self.fun = fun
         self.max_rounds = max_rounds
+        #: Per-compilation shared state (duck-typed; see
+        #: :class:`repro.pipeline.CompileContext`).  Supplies the shared
+        #: root assumption context and the Prover/NonOverlapChecker pool
+        #: pre-warmed by short-circuiting; standalone runs fall back to a
+        #: private pool so repeated disjointness queries against one
+        #: block context still share a memo.
+        self.shared = shared
+        self._pool = shared.provers if shared is not None else ProverPool()
         self.stats = FuseStats()
         self.aliases: Optional[AliasInfo] = None
         self.bindings: Dict[str, MemBinding] = {}
         self.allocated: Set[str] = set()
         self._suffix = 0
+
+    def _root_context(self) -> Context:
+        if self.shared is not None:
+            return self.shared.root_context()
+        return self.fun.build_context()
 
     # ------------------------------------------------------------------
     def run(self) -> FuseStats:
@@ -238,7 +251,7 @@ class _Fuser:
                 if isinstance(s.exp, A.Alloc)
             }
             self.stats.rounds += 1
-            if not self._block(self.fun.body, self.fun.build_context(), "body"):
+            if not self._block(self.fun.body, self._root_context(), "body"):
                 break
         else:
             analyze_last_uses(self.fun)
@@ -469,8 +482,7 @@ class _Fuser:
         the two regions, else the interleaved execution could observe a
         consumer write the original producer ran before.
         """
-        prover = Prover(ctx)
-        checker = NonOverlapChecker(prover)
+        prover, checker = self._pool.pair_for(ctx)
         writes = []
         for pe in consumer.pattern:
             if pe.is_array() and pe.mem is not None:
@@ -601,6 +613,12 @@ class _Fuser:
 
 
 # ----------------------------------------------------------------------
-def fuse_fun(fun: A.Fun, max_rounds: int = 10) -> FuseStats:
-    """Run producer-consumer fusion to a fixpoint on ``fun`` (in place)."""
-    return _Fuser(fun, max_rounds=max_rounds).run()
+def fuse_fun(fun: A.Fun, max_rounds: int = 10, shared=None) -> FuseStats:
+    """Run producer-consumer fusion to a fixpoint on ``fun`` (in place).
+
+    ``shared`` is the compilation's shared state (see
+    :class:`repro.pipeline.CompileContext`): when given, the root
+    assumption context and the Prover/NonOverlapChecker memo pool are
+    reused across the whole pipeline instead of rebuilt per pass.
+    """
+    return _Fuser(fun, max_rounds=max_rounds, shared=shared).run()

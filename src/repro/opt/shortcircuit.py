@@ -154,10 +154,23 @@ _LAYOUT = (A.SliceT, A.LmadSlice, A.Rearrange, A.Reshape, A.Reverse, A.VarRef)
 
 
 class _ShortCircuiter:
-    def __init__(self, fun: A.Fun, enable_splitting: bool = True, max_rounds: int = 4):
+    def __init__(
+        self,
+        fun: A.Fun,
+        enable_splitting: bool = True,
+        max_rounds: int = 4,
+        shared=None,
+    ):
         self.fun = fun
         self.enable_splitting = enable_splitting
         self.max_rounds = max_rounds
+        #: Optional per-compilation shared state (duck-typed: a
+        #: :class:`repro.pipeline.CompileContext` or anything with a
+        #: ``provers`` :class:`repro.lmad.ProverPool` and a
+        #: ``root_context()``).  When present, Prover/NonOverlapChecker
+        #: memos are pooled there and survive this pass, so fusion and
+        #: reuse queries against the same contexts start warm.
+        self.shared = shared
         self.stats = ShortCircuitStats()
         self._rebased: Set[str] = set()
         #: One Prover (and its NonOverlapChecker) per assumption context,
@@ -170,6 +183,8 @@ class _ShortCircuiter:
         self._cross_iter_cache: Dict[tuple, Tuple[Context, NonOverlapChecker]] = {}
 
     def _prover_for(self, ctx: Context) -> Tuple[Prover, NonOverlapChecker]:
+        if self.shared is not None:
+            return self.shared.provers.pair_for(ctx, self.enable_splitting)
         ent = self._prover_cache.get(id(ctx))
         if ent is None or ent[0] is not ctx:
             prover = Prover(ctx)
@@ -187,8 +202,11 @@ class _ShortCircuiter:
         for _ in range(self.max_rounds):
             analyze_last_uses(self.fun)
             self.stats.rounds += 1
-            # Contexts are rebuilt (and may gain equalities) every round;
-            # memoized answers must not leak across that boundary.
+            # Per-round contexts are rebuilt (and may gain equalities)
+            # every round; locally memoized answers must not leak across
+            # that boundary.  A shared pool needs no clearing: rebuilt
+            # contexts are new objects with fresh entries, and the
+            # long-lived root context's facts are stable across rounds.
             self._prover_cache.clear()
             self._cross_iter_cache.clear()
             root_scope = self._root_scope()
@@ -201,7 +219,11 @@ class _ShortCircuiter:
         return self.stats
 
     def _root_scope(self) -> _Scope:
-        ctx = self.fun.build_context()
+        ctx = (
+            self.shared.root_context()
+            if self.shared is not None
+            else self.fun.build_context()
+        )
         bindings: Dict[str, MemBinding] = {}
         outer: Set[str] = set()
         for p in self.fun.params:
@@ -840,8 +862,17 @@ def _last_use_position(block: A.Block, name: str) -> Optional[int]:
 
 
 def short_circuit_fun(
-    fun: A.Fun, enable_splitting: bool = True, max_rounds: int = 4
+    fun: A.Fun,
+    enable_splitting: bool = True,
+    max_rounds: int = 4,
+    shared=None,
 ) -> ShortCircuitStats:
-    """Run array short-circuiting on a memory-annotated function in place."""
-    sc = _ShortCircuiter(fun, enable_splitting, max_rounds)
+    """Run array short-circuiting on a memory-annotated function in place.
+
+    ``shared`` is the compilation's shared state (see
+    :class:`repro.pipeline.CompileContext`): when given, the root
+    assumption context and all Prover/NonOverlapChecker memos are pooled
+    there and carried into the later pipeline passes.
+    """
+    sc = _ShortCircuiter(fun, enable_splitting, max_rounds, shared=shared)
     return sc.run()

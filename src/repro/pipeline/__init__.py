@@ -1,0 +1,69 @@
+"""repro.pipeline: the first-class compilation pipeline.
+
+The historical ``compile_fun`` grew one boolean flag and one inline
+``timed()`` thunk per optimization; this package replaces that with an
+explicit architecture (DESIGN.md section 10):
+
+* :class:`Pass` -- the pass protocol: a name, ``run(ctx, fun) ->
+  PassStats``, and declared ``requires``/``preserves``/``establishes``
+  sets over the derived analyses (last-use, aliasing, ``mem_frees``);
+* :class:`PassManager` -- runs a pipeline, auto re-runs invalidated
+  analyses, honors verify checkpoints, and emits a uniquely-keyed,
+  per-occurrence-timed :class:`PipelineTrace`;
+* :class:`CompileContext` -- the shared state of one compilation: the
+  memory IR under construction, the validity ledger, and the pooled
+  Prover/NonOverlapChecker memos every pass shares
+  (:class:`repro.lmad.ProverPool`);
+* :mod:`~repro.pipeline.presets` -- named pipelines reproducing the
+  paper's configurations: ``unopt``, ``sc``, ``sc+fuse``, ``full``.
+
+``repro.compiler.compile_fun`` is now a thin, kwarg-compatible wrapper
+over these pieces.
+"""
+
+from repro.pipeline.context import ANALYSES, CompileContext
+from repro.pipeline.manager import PRINT_AFTER_ENV, PassManager
+from repro.pipeline.passes import (
+    AnalysisPass,
+    DeadAllocsPass,
+    FusePass,
+    HoistPass,
+    IntroduceMemoryPass,
+    Pass,
+    PassStats,
+    ReusePass,
+    ShortCircuitPass,
+    TypecheckPass,
+)
+from repro.pipeline.presets import (
+    PRESETS,
+    build_pipeline,
+    preset_for_flags,
+    preset_pass_names,
+    preset_pipeline,
+)
+from repro.pipeline.trace import PassRecord, PipelineTrace
+
+__all__ = [
+    "ANALYSES",
+    "CompileContext",
+    "PassManager",
+    "PRINT_AFTER_ENV",
+    "Pass",
+    "PassStats",
+    "PassRecord",
+    "PipelineTrace",
+    "AnalysisPass",
+    "DeadAllocsPass",
+    "FusePass",
+    "HoistPass",
+    "IntroduceMemoryPass",
+    "ReusePass",
+    "ShortCircuitPass",
+    "TypecheckPass",
+    "PRESETS",
+    "build_pipeline",
+    "preset_pipeline",
+    "preset_pass_names",
+    "preset_for_flags",
+]

@@ -1,0 +1,148 @@
+"""The shared per-compilation state: :class:`CompileContext`.
+
+One :class:`CompileContext` lives for exactly one :func:`~repro.compiler.
+compile_fun` invocation.  It owns
+
+* the source function and the memory-annotated function being grown;
+* the **shared prover pool** (:class:`repro.lmad.ProverPool`) and the
+  **shared root assumption context**, handed to every pass (short-
+  circuiting, fusion, reuse) so Prover/NonOverlapChecker memo tables and
+  normalization work amortize across the whole pipeline instead of being
+  rebuilt per pass;
+* the validity ledger for **derived analyses** (``last_use``, ``alias``,
+  ``mem_frees``): passes declare what they preserve and invalidate, and
+  the :class:`~repro.pipeline.PassManager` re-runs an invalidated
+  analysis automatically before the next pass that requires it;
+* the accumulated pass payloads (``ShortCircuitStats``, ``FuseStats``,
+  ``ReuseStats``) and verifier reports.
+
+Passes receive the whole context; the ``opt``/``reuse`` passes also
+accept it directly as their ``shared=`` parameter (duck-typed: they only
+touch :attr:`provers` and :meth:`root_context`), keeping those modules
+importable without :mod:`repro.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+from repro.lmad import ProverPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.analysis.diagnostics import Report
+    from repro.ir import ast as A
+    from repro.symbolic import Context
+
+#: The derived analyses the manager knows how to (re-)run.  Values are
+#: computed lazily by :meth:`CompileContext.ensure_analysis`.
+ANALYSES = ("alias", "last_use", "mem_frees")
+
+
+@dataclass
+class CompileContext:
+    """Shared state threaded through one pipeline run."""
+
+    #: The (never mutated) source function handed to ``compile_fun``.
+    source: "A.Fun"
+    #: The memory-annotated function the passes transform in place
+    #: (``None`` until memory introduction has run).
+    mfun: Optional["A.Fun"] = None
+    #: Run the :mod:`repro.analysis` verifier at the declared checkpoints.
+    verify: bool = False
+    #: Plumbed into every NonOverlapChecker the pipeline creates.
+    enable_splitting: bool = True
+
+    #: Shared Prover/NonOverlapChecker memos (see ProverPool).
+    provers: ProverPool = field(default_factory=ProverPool)
+
+    #: Analyses currently known valid for :attr:`mfun`.
+    valid_analyses: Set[str] = field(default_factory=set)
+    #: Last computed value per analysis (kept even when invalidated, for
+    #: debugging; only :attr:`valid_analyses` membership grants reuse).
+    analysis_values: Dict[str, object] = field(default_factory=dict)
+
+    #: Pass payloads by pass name (e.g. ``"short_circuit"`` ->
+    #: ShortCircuitStats).  A pass that runs multiple times keeps its
+    #: latest payload.
+    results: Dict[str, object] = field(default_factory=dict)
+    #: Verify label -> :class:`repro.analysis.Report`.
+    verify_reports: Dict[str, "Report"] = field(default_factory=dict)
+
+    _root_ctx: Optional["Context"] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Shared symbolic state
+    # ------------------------------------------------------------------
+    def root_context(self) -> "Context":
+        """The compilation's shared root assumption context.
+
+        Built once from the function's declared assumptions and shapes;
+        every pass that previously called ``fun.build_context()`` uses
+        this object instead, so the pooled root prover's memo table
+        survives from short-circuiting through fusion into reuse.  The
+        only mutations passes apply to it are ``define``s of top-level
+        scalar SSA equalities -- globally true facts, re-derived
+        identically by every pass, so sharing is sound (see
+        :class:`repro.lmad.ProverPool`).
+        """
+        if self._root_ctx is None:
+            fun = self.mfun if self.mfun is not None else self.source
+            self._root_ctx = fun.build_context()
+        return self._root_ctx
+
+    # ------------------------------------------------------------------
+    # Derived-analysis ledger
+    # ------------------------------------------------------------------
+    def ensure_analysis(self, name: str) -> object:
+        """Compute ``name`` if not currently valid; return its value."""
+        if name not in ANALYSES:
+            raise KeyError(f"unknown analysis {name!r} (have {ANALYSES})")
+        if name in self.valid_analyses:
+            return self.analysis_values[name]
+        value = self._run_analysis(name)
+        self.analysis_values[name] = value
+        self.valid_analyses.add(name)
+        return value
+
+    def _run_analysis(self, name: str) -> object:
+        assert self.mfun is not None, "analyses run on the memory IR"
+        if name == "alias":
+            from repro.ir.alias import analyze_aliases
+
+            return analyze_aliases(self.mfun)
+        if name == "last_use":
+            from repro.ir.lastuse import analyze_last_uses
+
+            info = analyze_last_uses(self.mfun)
+            # Last-use analysis recomputes aliasing as its first step.
+            self.analysis_values["alias"] = info.aliases
+            self.valid_analyses.add("alias")
+            return info
+        if name == "mem_frees":
+            from repro.reuse import annotate_frees
+
+            return annotate_frees(self.mfun)
+        raise KeyError(name)
+
+    def invalidate(self, names) -> None:
+        for name in names:
+            self.valid_analyses.discard(name)
+
+    def invalidate_all_except(self, preserved) -> None:
+        self.valid_analyses &= set(preserved)
+
+    # ------------------------------------------------------------------
+    # Payload conveniences (typed accessors for the common stats)
+    # ------------------------------------------------------------------
+    @property
+    def sc_stats(self):
+        return self.results.get("short_circuit")
+
+    @property
+    def fuse_stats(self):
+        return self.results.get("fuse")
+
+    @property
+    def reuse_stats(self):
+        return self.results.get("reuse")

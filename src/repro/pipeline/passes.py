@@ -1,0 +1,248 @@
+"""The :class:`Pass` protocol and the concrete pipeline passes.
+
+A pass declares, besides its ``run`` method:
+
+* ``mutates_ir`` -- whether it can change the memory IR (the manager
+  measures IR-size deltas and honors verify checkpoints only for these);
+* ``requires`` -- derived analyses (:data:`repro.pipeline.context.
+  ANALYSES`) that must be valid before it runs; the manager re-runs any
+  that an earlier pass invalidated;
+* ``preserves`` -- analyses that stay valid across the pass;
+* ``establishes`` -- analyses guaranteed valid *after* the pass (e.g.
+  short-circuiting's fixpoint loop ends with a fresh last-use analysis);
+* everything else is implicitly invalidated (see :attr:`Pass.invalidates`).
+
+``run(ctx, fun)`` returns a :class:`PassStats` (changed flag, structured
+detail counters, per-rule rejection tallies); the manager fills in the
+unique stage key, wall-clock time and IR deltas.
+
+The stage *callables* (``introduce_memory``, ``hoist_allocations``, ...)
+are resolved through :mod:`repro.compiler`'s module namespace at run
+time, which keeps the long-standing test seam working: monkeypatching
+``repro.compiler.introduce_memory`` still sabotages the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from repro.pipeline.context import ANALYSES, CompileContext
+from repro.pipeline.trace import KIND_ANALYSIS, KIND_PASS, PassRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir import ast as A
+
+#: Passes return a :class:`~repro.pipeline.trace.PassRecord`; the alias
+#: is the name the Pass protocol uses for it.
+PassStats = PassRecord
+
+
+def _compiler():
+    """The :mod:`repro.compiler` module, resolved late (import cycle +
+    monkeypatch seam)."""
+    import repro.compiler as compiler
+
+    return compiler
+
+
+def _count_stmts(fun: Optional["A.Fun"]) -> Tuple[int, int]:
+    """(total statements, alloc statements) of a memory function."""
+    if fun is None:
+        return -1, -1
+    from repro.ir import ast as A
+    from repro.mem.memir import iter_stmts
+
+    total = allocs = 0
+    for stmt in iter_stmts(fun.body):
+        total += 1
+        if isinstance(stmt.exp, A.Alloc):
+            allocs += 1
+    return total, allocs
+
+
+class Pass:
+    """Base pass: subclasses override the class attributes and ``run``."""
+
+    name: str = "?"
+    kind: str = KIND_PASS
+    mutates_ir: bool = True
+    requires: Tuple[str, ...] = ()
+    preserves: Tuple[str, ...] = ()
+    establishes: Tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        verify_label: Optional[str] = None,
+        condition: Optional[Callable[[CompileContext], bool]] = None,
+    ):
+        #: Verifier checkpoint label; the manager verifies the IR under
+        #: this label right after the pass (even when its condition
+        #: skipped it) when compiling with ``verify=True``.
+        self.verify_label = verify_label
+        #: Occurrence gate: when it returns False the occurrence is
+        #: recorded as skipped (e.g. the dead-alloc sweep after a fusion
+        #: round that committed nothing).
+        self.condition = condition
+
+    @property
+    def invalidates(self) -> Tuple[str, ...]:
+        """Analyses this pass does *not* carry over (derived)."""
+        if not self.mutates_ir:
+            return ()
+        kept = set(self.preserves) | set(self.establishes)
+        return tuple(a for a in ANALYSES if a not in kept)
+
+    def stats(self, changed: bool, **detail) -> PassStats:
+        return PassRecord(
+            kind=self.kind, name=self.name, key="", changed=changed,
+            detail=detail,
+        )
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ----------------------------------------------------------------------
+# Concrete passes, in pipeline order
+# ----------------------------------------------------------------------
+class TypecheckPass(Pass):
+    """Type/uniqueness checking of the *source* function (pure check)."""
+
+    name = "typecheck"
+    mutates_ir = False
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        _compiler().typecheck_fun(ctx.source)
+        return self.stats(changed=False)
+
+
+class IntroduceMemoryPass(Pass):
+    """Memory introduction: source IR -> memory-annotated deep copy."""
+
+    name = "introduce_memory"
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        ctx.mfun = _compiler().introduce_memory(ctx.source)
+        return self.stats(changed=True)
+
+
+class HoistPass(Pass):
+    """Hoist allocations upward within their blocks."""
+
+    name = "hoist"
+    preserves = ("alias",)  # moves allocs; value aliasing is untouched
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        moved = _compiler().hoist_allocations(fun)
+        return self.stats(changed=moved > 0, moved=moved)
+
+
+class AnalysisPass(Pass):
+    """Explicitly scheduled run of a derived analysis (``last_use``,
+    ``mem_frees``).  The manager also instantiates these automatically
+    when a pass requires an invalidated analysis."""
+
+    kind = KIND_ANALYSIS
+    mutates_ir = False
+
+    def __init__(self, analysis: str, **kw):
+        super().__init__(**kw)
+        if analysis not in ANALYSES:
+            raise ValueError(f"unknown analysis {analysis!r}")
+        self.name = analysis
+        self.establishes = (analysis,)
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        value = ctx.ensure_analysis(self.name)
+        detail: Dict[str, object] = {}
+        if self.name == "mem_frees":
+            detail["annotations"] = value
+        return self.stats(changed=False, **detail)
+
+
+class ShortCircuitPass(Pass):
+    """Array short-circuiting (paper section V)."""
+
+    name = "short_circuit"
+    requires = ("last_use",)
+    # The fixpoint loop's final round runs a fresh last-use analysis and
+    # commits no further rebase, so both come out valid.
+    preserves = ("alias", "last_use")
+    establishes = ("alias", "last_use")
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        from repro.opt.shortcircuit import short_circuit_fun
+
+        st = short_circuit_fun(
+            fun, enable_splitting=ctx.enable_splitting, shared=ctx
+        )
+        ctx.results[self.name] = st
+        rec = self.stats(
+            changed=st.committed > 0 or st.reused_copies > 0,
+            attempted=st.attempted,
+            committed=st.committed,
+            reused_copies=st.reused_copies,
+            rounds=st.rounds,
+        )
+        rec.rejections = dict(st.failures)
+        return rec
+
+
+class DeadAllocsPass(Pass):
+    """Drop allocations no binding references any more."""
+
+    name = "dead_allocs"
+    # Removes whole Alloc statements only: value aliasing and the
+    # last-use annotations of surviving statements are untouched.
+    preserves = ("alias", "last_use")
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        removed = _compiler().remove_dead_allocations(fun)
+        return self.stats(changed=removed > 0, removed=removed)
+
+
+class FusePass(Pass):
+    """Producer-consumer kernel fusion (inline sole-last-use producers)."""
+
+    name = "fuse"
+    requires = ("last_use",)
+    preserves = ("alias", "last_use")
+    establishes = ("alias", "last_use")  # re-analyzed at fixpoint exit
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        from repro.opt.fuse import fuse_fun
+
+        st = fuse_fun(fun, shared=ctx)
+        ctx.results[self.name] = st
+        rec = self.stats(
+            changed=st.committed > 0,
+            attempted=st.attempted,
+            committed=st.committed,
+            rounds=st.rounds,
+        )
+        rec.rejections = dict(st.failures)
+        return rec
+
+
+class ReusePass(Pass):
+    """Allocation coalescing: merge provably disjoint live ranges."""
+
+    name = "reuse"
+    # Rewrites memory bindings only; value-level analyses survive.
+    preserves = ("alias", "last_use")
+
+    def run(self, ctx: CompileContext, fun: "A.Fun") -> PassStats:
+        from repro.reuse import reuse_allocations
+
+        st = reuse_allocations(fun, shared=ctx)
+        ctx.results[self.name] = st
+        rec = self.stats(
+            changed=bool(st.mapping),
+            merged=st.merged,
+            widened=st.widened,
+        )
+        rec.rejections = dict(st.rejected)
+        return rec

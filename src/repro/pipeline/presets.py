@@ -1,0 +1,116 @@
+"""Named pipeline presets reproducing the paper's configurations.
+
+========== =============================================================
+``unopt``  the paper's "Unopt. Futhark" baseline: memory introduction,
+           hoisting and last-use analysis only
+``sc``     + array short-circuiting (paper section V)
+``sc+fuse`` + producer-consumer kernel fusion
+``full``   + memory reuse (allocation coalescing and ``mem_frees``
+           lifetime annotations) -- identical to ``compile_fun``'s
+           defaults
+========== =============================================================
+
+:func:`build_pipeline` constructs the ordered pass list for any flag
+combination (the eight ``compile_fun`` kwarg combinations are a superset
+of the four presets); :func:`preset_pipeline` instantiates a preset by
+name and :func:`preset_pass_names` exposes the expected schedule for
+tests and ``--explain``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pipeline.context import CompileContext
+from repro.pipeline.passes import (
+    AnalysisPass,
+    DeadAllocsPass,
+    FusePass,
+    HoistPass,
+    IntroduceMemoryPass,
+    Pass,
+    ReusePass,
+    ShortCircuitPass,
+    TypecheckPass,
+)
+
+#: Preset name -> the ``compile_fun`` flag combination it stands for.
+PRESETS: Dict[str, Dict[str, bool]] = {
+    "unopt": {"short_circuit": False, "fuse": False, "reuse": False},
+    "sc": {"short_circuit": True, "fuse": False, "reuse": False},
+    "sc+fuse": {"short_circuit": True, "fuse": True, "reuse": False},
+    "full": {"short_circuit": True, "fuse": True, "reuse": True},
+}
+
+
+def _fuse_committed(ctx: CompileContext) -> bool:
+    st = ctx.fuse_stats
+    return st is not None and bool(st.committed)
+
+
+def _reuse_merged(ctx: CompileContext) -> bool:
+    st = ctx.reuse_stats
+    return st is not None and bool(st.mapping)
+
+
+def build_pipeline(
+    short_circuit: bool = True,
+    fuse: bool = True,
+    reuse: bool = True,
+    typecheck: bool = True,
+) -> List[Pass]:
+    """The ordered pass list for one flag combination.
+
+    Verify checkpoints carry the labels ``compile_fun(verify=True)`` has
+    always produced (``introduce_memory``, ``hoist+last_use``,
+    ``short_circuit``, ``fuse``, ``reuse``); the dead-allocation sweeps
+    after fusion and reuse are gated on those passes having changed
+    anything, exactly like the historical inline pipeline.
+    """
+    pipe: List[Pass] = []
+    if typecheck:
+        pipe.append(TypecheckPass())
+    pipe.append(IntroduceMemoryPass(verify_label="introduce_memory"))
+    pipe.append(HoistPass())
+    pipe.append(AnalysisPass("last_use", verify_label="hoist+last_use"))
+    if short_circuit:
+        pipe.append(ShortCircuitPass())
+        pipe.append(DeadAllocsPass(verify_label="short_circuit"))
+    if fuse:
+        pipe.append(FusePass())
+        pipe.append(
+            DeadAllocsPass(verify_label="fuse", condition=_fuse_committed)
+        )
+    if reuse:
+        pipe.append(ReusePass())
+        pipe.append(DeadAllocsPass(condition=_reuse_merged))
+        pipe.append(AnalysisPass("mem_frees", verify_label="reuse"))
+    return pipe
+
+
+def preset_pipeline(name: str, typecheck: bool = True) -> List[Pass]:
+    """Instantiate the pass list of a named preset."""
+    try:
+        flags = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pipeline preset {name!r} "
+            f"(available: {', '.join(PRESETS)})"
+        ) from None
+    return build_pipeline(typecheck=typecheck, **flags)
+
+
+def preset_pass_names(name: str, typecheck: bool = True) -> List[str]:
+    """The ordered pass/analysis names a preset schedules."""
+    return [p.name for p in preset_pipeline(name, typecheck=typecheck)]
+
+
+def preset_for_flags(
+    short_circuit: bool, fuse: bool, reuse: bool
+) -> Optional[str]:
+    """The preset name matching a flag combination, if any."""
+    flags = {"short_circuit": short_circuit, "fuse": fuse, "reuse": reuse}
+    for name, preset in PRESETS.items():
+        if preset == flags:
+            return name
+    return None

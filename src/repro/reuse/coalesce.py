@@ -57,15 +57,25 @@ def _operand_expr(op) -> SymExpr:
 
 
 class _Coalescer:
-    def __init__(self, fun: A.Fun):
+    def __init__(self, fun: A.Fun, shared=None):
         self.fun = fun
+        #: Per-compilation shared state (duck-typed; see
+        #: :class:`repro.pipeline.CompileContext`): supplies the shared
+        #: root assumption context and the Prover memo pool the earlier
+        #: passes already warmed up.
+        self.shared = shared
         self.ranges = LiveRanges(fun)
         self.stats = ReuseStats()
 
     def run(self) -> ReuseStats:
+        root = (
+            self.shared.root_context()
+            if self.shared is not None
+            else self.fun.build_context()
+        )
         self._block(
             self.fun.body,
-            self.fun.build_context(),
+            root,
             {p.name for p in self.fun.params},
         )
         if self.stats.mapping:
@@ -116,7 +126,11 @@ class _Coalescer:
         scan = graph.ordered()
         if len(scan) < 2:
             return
-        prover = Prover(ctx)
+        prover = (
+            self.shared.provers.prover_for(ctx)
+            if self.shared is not None
+            else Prover(ctx)
+        )
         # Names defined before each statement, for the widening scope check.
         prefix: List[Set[str]] = []
         defined = set(outer)
@@ -184,6 +198,12 @@ class _Coalescer:
         return None
 
 
-def reuse_allocations(fun: A.Fun) -> ReuseStats:
-    """Coalesce provably non-overlapping allocations of ``fun`` in place."""
-    return _Coalescer(fun).run()
+def reuse_allocations(fun: A.Fun, shared=None) -> ReuseStats:
+    """Coalesce provably non-overlapping allocations of ``fun`` in place.
+
+    ``shared`` is the compilation's shared state (see
+    :class:`repro.pipeline.CompileContext`): when given, the root
+    assumption context and the Prover memo pool are reused across the
+    whole pipeline instead of rebuilt per pass.
+    """
+    return _Coalescer(fun, shared=shared).run()

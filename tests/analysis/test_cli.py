@@ -12,16 +12,24 @@ def test_list(capsys):
 
 
 def test_single_benchmark_ok(capsys):
+    """Default run verifies every pipeline preset."""
     assert main(["nw"]) == 0
     out = capsys.readouterr().out
-    assert "nw [unopt]" in out and "nw [opt]" in out
+    for preset in ("unopt", "sc", "sc+fuse", "full"):
+        assert f"nw [{preset}]" in out
     assert "OK" in out
 
 
 def test_opt_only_runs_one_pipeline(capsys):
     assert main(["nn", "--opt-only"]) == 0
     out = capsys.readouterr().out
-    assert "[opt]" in out and "[unopt]" not in out
+    assert "[full]" in out and "[unopt]" not in out
+
+
+def test_pipeline_selects_presets(capsys):
+    assert main(["nn", "--pipeline", "sc"]) == 0
+    out = capsys.readouterr().out
+    assert "[sc]" in out and "[full]" not in out and "[unopt]" not in out
 
 
 def test_unknown_name_is_an_error(capsys):

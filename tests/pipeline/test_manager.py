@@ -1,0 +1,179 @@
+"""PassManager mechanics: keys, ledger, checkpoints, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_fun, f32, pretty_fun
+from repro.ir import FunBuilder
+from repro.pipeline import (
+    AnalysisPass,
+    CompileContext,
+    HoistPass,
+    IntroduceMemoryPass,
+    Pass,
+    PassManager,
+    PRINT_AFTER_ENV,
+    ShortCircuitPass,
+    preset_pipeline,
+)
+from repro.pipeline.trace import KIND_ANALYSIS, KIND_VERIFY
+from repro.symbolic import Var
+
+n = Var("n")
+
+
+def simple_fun():
+    """A map into a slice of a bigger array: one short-circuit chance."""
+    b = FunBuilder("f")
+    x = b.param("x", f32(n))
+    big = b.param("big", f32(n * 2))
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(x, [mp.idx]), 2.0))
+    (X,) = mp.end()
+    out = b.update_slice(big, [(0, n, 1)], X)
+    b.returns(out)
+    return b.build()
+
+
+class TestStageKeys:
+    def test_every_occurrence_gets_a_unique_key(self):
+        c = compile_fun(simple_fun())
+        keys = list(c.stage_seconds)
+        assert keys == [
+            "typecheck", "introduce_memory", "hoist", "last_use",
+            "short_circuit", "dead_allocs", "fuse", "dead_allocs#2",
+            "reuse", "dead_allocs#3", "mem_frees",
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_compile_seconds_is_the_exact_sum(self):
+        c = compile_fun(simple_fun())
+        assert c.compile_seconds == sum(c.stage_seconds.values())
+        assert c.compile_seconds == c.trace.compile_seconds
+
+
+class TestAnalysisLedger:
+    def test_invalidated_analysis_is_rerun_automatically(self):
+        class ScramblePass(Pass):
+            """Mutating no-op that declares it preserves nothing."""
+
+            name = "scramble"
+
+            def run(self, ctx, fun):
+                return self.stats(changed=False)
+
+        passes = [
+            IntroduceMemoryPass(),
+            HoistPass(),
+            AnalysisPass("last_use"),
+            ScramblePass(),
+            ShortCircuitPass(),  # requires last_use -> forced re-run
+        ]
+        ctx = CompileContext(source=simple_fun())
+        trace = PassManager(passes, name="custom").run(ctx)
+        analyses = [r.key for r in trace.records if r.kind == KIND_ANALYSIS]
+        assert analyses == ["last_use", "last_use#2"]
+
+    def test_preserved_analysis_is_not_rerun(self):
+        ctx = CompileContext(source=simple_fun())
+        trace = PassManager(preset_pipeline("full"), name="full").run(ctx)
+        analyses = [r.key for r in trace.records if r.kind == KIND_ANALYSIS]
+        # One scheduled last_use, one scheduled mem_frees -- and nothing
+        # auto-inserted: sc/fuse/dead_allocs/reuse all carry last_use over.
+        assert analyses == ["last_use", "mem_frees"]
+
+
+class TestVerifyCheckpoints:
+    def test_verify_reports_keep_the_legacy_labels(self):
+        c = compile_fun(simple_fun(), verify=True)
+        assert set(c.verify_reports) == {
+            "introduce_memory", "hoist+last_use", "short_circuit",
+            "fuse", "reuse",
+        }
+        assert all(r.ok() for r in c.verify_reports.values())
+
+    def test_verify_records_land_in_the_trace(self):
+        c = compile_fun(simple_fun(), verify=True)
+        labels = [
+            r.name for r in c.trace.records if r.kind == KIND_VERIFY
+        ]
+        assert labels == [
+            "verify[introduce_memory]", "verify[hoist+last_use]",
+            "verify[short_circuit]", "verify[fuse]", "verify[reuse]",
+        ]
+
+    def test_checkpoint_fires_even_when_the_pass_was_skipped(self):
+        # simple_fun has nothing to fuse, so the post-fuse dead-alloc
+        # sweep is condition-skipped -- its "fuse" checkpoint still runs.
+        c = compile_fun(simple_fun(), verify=True)
+        rec = c.trace.record("dead_allocs#2")
+        assert rec is not None and rec.skipped
+        assert "fuse" in c.verify_reports
+
+
+class TestSnapshots:
+    def test_print_after_dumps_ir_to_stderr(self, monkeypatch, capsys):
+        monkeypatch.setenv(PRINT_AFTER_ENV, "short_circuit")
+        c = compile_fun(simple_fun())
+        err = capsys.readouterr().err
+        assert "-- IR after short_circuit" in err
+        assert "alloc" in err
+        assert pretty_fun(c.fun).splitlines()[0] in err
+
+    def test_no_env_no_output(self, monkeypatch, capsys):
+        monkeypatch.delenv(PRINT_AFTER_ENV, raising=False)
+        compile_fun(simple_fun())
+        assert capsys.readouterr().err == ""
+
+
+class TestCompileFunWrapper:
+    def test_defaults_are_the_full_preset(self):
+        by_default = compile_fun(simple_fun())
+        by_name = compile_fun(simple_fun(), pipeline="full")
+        assert by_default.pipeline == by_name.pipeline == "full"
+        assert pretty_fun(by_default.fun) == pretty_fun(by_name.fun)
+
+    def test_flag_combinations_are_labelled(self):
+        c = compile_fun(simple_fun(), short_circuit=False, fuse=False,
+                        reuse=False)
+        assert c.pipeline == "unopt"
+        c = compile_fun(simple_fun(), short_circuit=False)
+        assert c.pipeline == "custom"
+
+    def test_preset_overrides_flags(self):
+        c = compile_fun(simple_fun(), short_circuit=False, pipeline="sc")
+        assert c.pipeline == "sc"
+        assert "short_circuit" in c.stage_seconds
+
+    def test_manager_is_usable_directly(self):
+        ctx = CompileContext(source=simple_fun())
+        trace = PassManager(preset_pipeline("sc"), name="sc").run(ctx)
+        assert ctx.mfun is not None
+        assert trace.pipeline == "sc"
+        assert ctx.sc_stats is not None and ctx.sc_stats.committed >= 1
+
+
+class TestBrokenPass:
+    def test_verification_error_names_the_stage(self, monkeypatch):
+        """The monkeypatch seam survives the refactor: sabotaging
+        ``repro.compiler.introduce_memory`` still fails the first
+        checkpoint of the *full* preset."""
+        from repro.analysis import VerificationError
+        from repro.mem import introduce as I
+
+        original = I.introduce_memory
+
+        def sabotaged(fun):
+            out = original(fun)
+            for stmt in out.body.stmts:
+                for pe in stmt.pattern:
+                    if pe.is_array():
+                        pe.mem = None  # strip one memory annotation
+                        return out
+            return out
+
+        monkeypatch.setattr("repro.compiler.introduce_memory", sabotaged)
+        with pytest.raises(VerificationError) as exc:
+            compile_fun(simple_fun(), verify=True)
+        assert exc.value.stage == "introduce_memory"

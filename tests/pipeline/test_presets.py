@@ -1,0 +1,84 @@
+"""Pipeline presets: every preset compiles every benchmark verifier-clean.
+
+This is the preset-level acceptance gate for the pass-manager refactor:
+``unopt``, ``sc``, ``sc+fuse`` and ``full`` must all (a) produce final IR
+that :func:`repro.analysis.verifier.verify_fun` accepts, (b) execute the
+exact ordered pass list that :func:`repro.pipeline.preset_pass_names`
+advertises, and (c) emit a :class:`repro.pipeline.PipelineTrace` that
+survives a JSON round-trip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verifier import verify_fun
+from repro.compiler import compile_fun
+from repro.bench.programs import all_benchmarks
+from repro.pipeline import (
+    PRESETS,
+    PipelineTrace,
+    preset_for_flags,
+    preset_pass_names,
+)
+from repro.pipeline.trace import KIND_ANALYSIS, KIND_PASS
+
+BENCHMARKS = all_benchmarks()
+
+#: One compilation per (benchmark, preset), shared across the tests below.
+_cache = {}
+
+
+def compiled(name: str, preset: str):
+    key = (name, preset)
+    if key not in _cache:
+        fun = BENCHMARKS[name].build()
+        _cache[key] = compile_fun(fun, pipeline=preset)
+    return _cache[key]
+
+
+@pytest.mark.parametrize("preset", list(PRESETS))
+@pytest.mark.parametrize("name", list(BENCHMARKS))
+def test_preset_compiles_verifier_clean(name, preset):
+    c = compiled(name, preset)
+    report = verify_fun(c.fun, stage=f"{name} [{preset}]")
+    assert report.ok(), report.render()
+
+
+@pytest.mark.parametrize("preset", list(PRESETS))
+def test_preset_runs_advertised_pass_list(preset):
+    """The trace's scheduled pass/analysis sequence is exactly the
+    preset's advertised schedule -- no silent extra analysis re-runs."""
+    expected = preset_pass_names(preset)
+    for name in BENCHMARKS:
+        c = compiled(name, preset)
+        assert c.pipeline == preset
+        scheduled = c.trace.pass_names(kinds=(KIND_PASS, KIND_ANALYSIS))
+        assert scheduled == expected, name
+        executed = c.trace.executed_pass_names()
+        assert [p for p in expected if p in executed]  # sanity: nonempty
+
+
+@pytest.mark.parametrize("preset", list(PRESETS))
+def test_trace_json_round_trip(preset):
+    c = compiled("nw", preset)
+    trace = c.trace
+    back = PipelineTrace.from_json(trace.to_json())
+    assert back.to_dict() == trace.to_dict()
+    assert back.pipeline == preset
+    assert back.stage_seconds() == trace.stage_seconds()
+    assert back.compile_seconds == trace.compile_seconds
+
+
+def test_preset_flags_round_trip():
+    assert preset_for_flags(True, True, True) == "full"
+    assert preset_for_flags(True, True, False) == "sc+fuse"
+    assert preset_for_flags(True, False, False) == "sc"
+    assert preset_for_flags(False, False, False) == "unopt"
+    assert preset_for_flags(False, True, True) is None
+
+
+def test_unknown_preset_is_an_error():
+    fun = BENCHMARKS["nn"].build()
+    with pytest.raises(KeyError, match="unopt"):
+        compile_fun(fun, pipeline="turbo")
