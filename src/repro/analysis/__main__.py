@@ -65,6 +65,10 @@ def main(argv=None) -> int:
                              "(alias for --pipeline unopt)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="also show NOTE-level findings")
+    parser.add_argument("--overlap-audit", action="store_true",
+                        help="replay every logged disjointness query "
+                             "through both prover tiers and fail on any "
+                             "disagreement")
     args = parser.parse_args(argv)
 
     from repro.bench.programs import all_benchmarks
@@ -97,6 +101,14 @@ def main(argv=None) -> int:
             print(f"unknown benchmark or file: {name}", file=sys.stderr)
             return 2
         for preset in presets:
+            if args.overlap_audit:
+                from repro.analysis.audit import audit_compilation
+
+                result = audit_compilation(fun, name, preset)
+                print(result.render())
+                if not result.ok():
+                    failed = True
+                continue
             compiled = compile_fun(fun, pipeline=preset)
             report = verify_fun(compiled.fun, stage=preset)
             print(report.render(show_notes=args.verbose))

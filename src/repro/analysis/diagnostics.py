@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 class Severity(enum.Enum):
@@ -134,6 +134,9 @@ class Report:
     stage: Optional[str] = None  # pipeline stage label, when applicable
     diagnostics: List[Diagnostic] = field(default_factory=list)
     checks: int = 0  # proof obligations discharged
+    #: Deciding-tier tallies of the race checker's disjointness proofs
+    #: (``structural`` / ``polyhedral`` / ``unknown``).
+    tiers: Dict[str, int] = field(default_factory=dict)
 
     def add(
         self,

@@ -59,8 +59,7 @@ from repro.analysis.facts import (
 )
 from repro.ir import ast as A
 from repro.ir.types import ArrayType
-from repro.lmad import IndexFn, NonOverlapChecker, aggregate_over_loop
-from repro.lmad.overlap import lmad_injective
+from repro.lmad import IndexFn, ProverPool, aggregate_over_loop
 from repro.lmad.lmad import Lmad, LmadDim
 from repro.mem.memir import (
     MemBinding,
@@ -78,6 +77,14 @@ class Event:
     name: str  # variable the access goes through
     pos: int  # statement index in the current block
     loc: str  # statement location
+    #: Provable no-op: the write stores the value already present at its
+    #: address (the widened-rebase boundary fills).  No-op writes cannot
+    #: clobber anything, so they are exempt vs. reads and other no-ops.
+    noop: bool = False
+    #: The full index function behind the region, kept when ``lmad`` is
+    #: None so the polyhedral tier can still reason about composed
+    #: accesses (R04 fallback).
+    ixfn: Optional[IndexFn] = None
 
     def describe(self) -> str:
         what = "write" if self.kind == "w" else "read"
@@ -116,16 +123,24 @@ def _update_region(binding: MemBinding, spec: A.IndexSpec) -> IndexFn:
 
 
 class RaceChecker:
-    def __init__(self, fun: A.Fun, report: Report):
+    def __init__(
+        self, fun: A.Fun, report: Report, pool: Optional[ProverPool] = None
+    ):
         self.fun = fun
         self.report = report
         self.down = Downstream(fun)
         self.concrete = concrete_blocks(fun)
+        #: Prover/checker/engine pool: every disjointness obligation goes
+        #: through a tiered checker (structural test, then relation
+        #: emptiness), and the deciding tiers tally under "races".
+        self.pool = pool if pool is not None else ProverPool()
         #: existential block -> blocks it may stand for at run time
         self._indirect: Dict[str, Tuple[str, ...]] = {}
         self._unknown_flagged: Set[Tuple[str, str]] = set()
 
     def run(self) -> None:
+        self.pool.set_client("races")
+        tier_base = dict(self.pool.tiers.get("races", {}))
         ctx = self.fun.build_context()
         bindings: Dict[str, MemBinding] = {}
         for p in self.fun.params:
@@ -134,6 +149,11 @@ class RaceChecker:
                     param_mem_name(p.name), IndexFn.row_major(p.type.shape)
                 )
         self._block(self.fun.body, ctx, bindings, "body")
+        tier_now = self.pool.tiers.get("races", {})
+        for k in set(tier_now) | set(tier_base):
+            delta = tier_now.get(k, 0) - tier_base.get(k, 0)
+            if delta:
+                self.report.tiers[k] = self.report.tiers.get(k, 0) + delta
 
     # ==================================================================
     # Existential indirection
@@ -185,11 +205,15 @@ class RaceChecker:
         bindings = dict(parent_bindings)
         events: List[Event] = []
         local: Set[str] = set()
+        #: scalar name -> (def position, block, normalized read address)
+        #: for single-element reads, feeding the no-op-write classifier.
+        index_defs: Dict[str, Tuple[int, str, SymExpr]] = {}
         for i, stmt in enumerate(block.stmts):
             spath = f"{path}[{i}]"
             evs, sub_local = self._stmt_events(stmt, ctx, bindings, spath)
             local |= sub_local
             evs = [replace(e, pos=i) for e in self._expand_events(evs)]
+            evs = self._classify_noops(stmt, evs, index_defs, events, ctx)
             self._seq_check(evs, events, ctx)
             events.extend(evs)
             exp = stmt.exp
@@ -199,11 +223,63 @@ class RaceChecker:
                 ctx.define(stmt.names[0], int(exp.value))
             elif isinstance(exp, A.Alloc):
                 local.add(stmt.names[0])
+            elif isinstance(exp, A.Index):
+                b = bindings.get(exp.src)
+                if b is not None:
+                    single = b.ixfn.as_single()
+                    if single is not None:
+                        index_defs[stmt.names[0]] = (
+                            i, b.mem, ctx.normalize(single.apply(exp.indices))
+                        )
             for pe in stmt.pattern:
                 if pe.is_array() and pe.mem is not None:
                     bindings[pe.name] = binding_of(pe)
         kept = [e for e in events if e.mem not in local]
         return kept, local, bindings
+
+    def _classify_noops(
+        self,
+        stmt: A.Let,
+        evs: List[Event],
+        index_defs: Dict[str, Tuple[int, str, SymExpr]],
+        prior: List[Event],
+        ctx: Context,
+    ) -> List[Event]:
+        """Mark point writes that provably store the value already there.
+
+        A widened rebase (see the short-circuiting pass) leaves boundary
+        fills writing ``x[addr] = x[addr]``: the stored value is defined
+        by an element read of the *same* block at a provably equal
+        address, with no intervening write to that block.  Such writes do
+        not change memory, so the cross checks may exempt them against
+        reads and other no-ops (never against real writes).
+        """
+        exp = stmt.exp
+        if not isinstance(exp, A.Update) or not isinstance(exp.value, str):
+            return evs
+        info = index_defs.get(exp.value)
+        if info is None:
+            return evs
+        dpos, dmem, daddr = info
+        dset = set(self._expand_mem(dmem))
+        if any(
+            e.kind == "w" and not e.noop and e.pos > dpos and e.mem in dset
+            for e in prior
+        ):
+            return evs
+        prover = self.pool.prover_for(ctx)
+        out: List[Event] = []
+        for e in evs:
+            if (
+                e.kind == "w"
+                and e.mem in dset
+                and e.lmad is not None
+                and not e.lmad.dims
+                and prover.eq(e.lmad.offset, daddr)
+            ):
+                e = replace(e, noop=True)
+            out.append(e)
+        return out
 
     def _seq_check(
         self, new: List[Event], prior: List[Event], ctx: Context
@@ -211,10 +287,10 @@ class RaceChecker:
         reads = [e for e in new if e.kind == "r"]
         if not reads:
             return
-        writes = [e for e in prior if e.kind == "w"]
+        writes = [e for e in prior if e.kind == "w" and not e.noop]
         if not writes:
             return
-        checker = NonOverlapChecker(Prover(ctx), enable_splitting=True)
+        checker = self.pool.checker_for(ctx)
         for r in reads:
             for w in writes:
                 if w.mem != r.mem:
@@ -222,6 +298,8 @@ class RaceChecker:
                 if self.down.dependent(w.name, r.name):
                     continue
                 if w.lmad is None or r.lmad is None:
+                    if self._composed_disjoint(w, r, ctx):
+                        continue
                     self._flag_unknown(w if w.lmad is None else r)
                     continue
                 self.report.count()
@@ -232,6 +310,33 @@ class RaceChecker:
                         f"{w.describe()} (at {w.loc}); the two are "
                         "value-flow independent and not provably disjoint",
                     )
+
+    def _composed_disjoint(
+        self,
+        a: Event,
+        b: Event,
+        ctx: Context,
+        subst: Optional[Dict[str, SymExpr]] = None,
+    ) -> bool:
+        """Polyhedral fallback for pairs with a composed index function.
+
+        The structural checker needs single LMADs; the relation engine
+        does not -- composed accesses become unranking relations with
+        existential coordinates.  Only an exact EMPTY passes.
+        """
+        ra = a.ixfn if a.lmad is None else a.lmad
+        rb = b.ixfn if b.lmad is None else b.lmad
+        if ra is None or rb is None:
+            return False
+        if subst:
+            rb = rb.substitute(subst)
+        from repro.isl.emptiness import Verdict
+
+        engine = self.pool.engine_for(ctx)
+        self.report.count()
+        ok = engine.accesses_disjoint(ra, rb) is Verdict.EMPTY
+        self.pool.record_tier("polyhedral" if ok else "unknown")
+        return ok
 
     def _flag_unknown(self, e: Event) -> None:
         key = (e.mem, e.name)
@@ -263,10 +368,14 @@ class RaceChecker:
             return None if single is None else _norm_lmad(single, ctx)
 
         def read(name: str, b: MemBinding) -> Event:
-            return Event("r", b.mem, region_of(b.ixfn), name, 0, loc)
+            return Event(
+                "r", b.mem, region_of(b.ixfn), name, 0, loc, ixfn=b.ixfn
+            )
 
         def write(name: str, b: MemBinding) -> Event:
-            return Event("w", b.mem, region_of(b.ixfn), name, 0, loc)
+            return Event(
+                "w", b.mem, region_of(b.ixfn), name, 0, loc, ixfn=b.ixfn
+            )
 
         if isinstance(exp, A.Index):
             b = bindings.get(exp.src)
@@ -274,7 +383,11 @@ class RaceChecker:
                 return [], none
             single = b.ixfn.as_single()
             if single is None:
-                return [Event("r", b.mem, None, exp.src, 0, loc)], none
+                # The exact point needs run-time unranking; the whole
+                # footprint over-approximates it for the fallback tier.
+                return [
+                    Event("r", b.mem, None, exp.src, 0, loc, ixfn=b.ixfn)
+                ], none
             point = Lmad(ctx.normalize(single.apply(exp.indices)), ())
             return [Event("r", b.mem, point, exp.src, 0, loc)], none
 
@@ -313,7 +426,7 @@ class RaceChecker:
                 out.append(
                     Event(
                         "w", dst_b.mem, region_of(region),
-                        stmt.names[0], 0, loc,
+                        stmt.names[0], 0, loc, ixfn=region,
                     )
                 )
             return out, none
@@ -338,7 +451,8 @@ class RaceChecker:
                     out.append(read(exp.value, val_b))
             out.append(
                 Event(
-                    "w", res_b.mem, region_of(region), stmt.names[0], 0, loc
+                    "w", res_b.mem, region_of(region), stmt.names[0], 0, loc,
+                    ixfn=region,
                 )
             )
             return out, none
@@ -422,7 +536,7 @@ class RaceChecker:
                     Event(
                         "r", rb.mem,
                         None if single is None else _norm_lmad(single, mctx),
-                        res_name, 0, loc,
+                        res_name, 0, loc, ixfn=rb.ixfn,
                     )
                 )
             single = region.as_single()
@@ -430,7 +544,7 @@ class RaceChecker:
                 Event(
                     "w", db.mem,
                     None if single is None else _norm_lmad(single, mctx),
-                    pe.name, 0, loc,
+                    pe.name, 0, loc, ixfn=region,
                 )
             )
         per_thread = child + [
@@ -531,18 +645,24 @@ class RaceChecker:
         checkers = []
         hi = ctx.extended()
         hi.assume_range(var2, SymExpr.var(var) + 1, count - 1)
-        checkers.append(NonOverlapChecker(Prover(hi), enable_splitting=True))
+        checkers.append(self.pool.checker_for(hi))
         if parallel:
             lo = ctx.extended()
             lo.assume_range(var2, 0, SymExpr.var(var) - 1)
-            checkers.append(
-                NonOverlapChecker(Prover(lo), enable_splitting=True)
-            )
+            checkers.append(self.pool.checker_for(lo))
         memo: Dict[Tuple[Lmad, Lmad], bool] = {}
-        dep_prover = Prover(ctx)
+        dep_prover = self.pool.prover_for(ctx)
         for w in writes:
             for e in events:
                 if e.mem != w.mem:
+                    continue
+                if w.noop and (e.kind == "r" or e.noop):
+                    # A no-op write cannot clobber a read (memory is
+                    # unchanged), and two no-ops cannot clobber each
+                    # other.  Real writes against a no-op's address are
+                    # still checked: they would invalidate the value the
+                    # no-op's own read depends on -- but that read is a
+                    # separate event, so the pair below covers it.
                     continue
                 if not parallel and self.down.dependent(w.name, e.name):
                     # The carried dependence: the value legitimately
@@ -568,6 +688,12 @@ class RaceChecker:
                     if self._slides_together(w.lmad, e.lmad, var, dep_prover):
                         continue
                 if w.lmad is None or e.lmad is None:
+                    subst = {var: SymExpr.var(var2)}
+                    if all(
+                        self._composed_disjoint(w, e, chk.prover.ctx, subst)
+                        for chk in checkers
+                    ):
+                        continue
                     self._flag_unknown(w if w.lmad is None else e)
                     continue
                 key = (w.lmad, e.lmad)
@@ -582,11 +708,13 @@ class RaceChecker:
                         # distinct indices address disjoint slabs -- a
                         # linear proof where the offset-difference route
                         # is nonlinear (e.g. LUD's b^2*(q-k-1) slabs).
-                        prover = Prover(ctx)
+                        prover = self.pool.prover_for(ctx)
                         agg = aggregate_over_loop(
                             w.lmad, var, count, prover
                         )
-                        ok = agg is not None and lmad_injective(agg, prover)
+                        ok = agg is not None and self.pool.injective(
+                            ctx, agg
+                        )
                     if not ok:
                         other = e.lmad.substitute({var: SymExpr.var(var2)})
                         ok = True
@@ -632,10 +760,21 @@ class RaceChecker:
     def _aggregate(
         self, events: List[Event], var: str, count: SymExpr, ctx: Context
     ) -> List[Event]:
-        prover = Prover(ctx)
+        prover = self.pool.prover_for(ctx)
         out: List[Event] = []
         for e in events:
-            if e.lmad is None or var not in e.lmad.free_vars():
+            if e.lmad is None:
+                # The composed region cannot be aggregated; if it still
+                # mentions this index, drop the index function too --
+                # keeping it would correlate the two sides of an outer
+                # cross pair through the (shared) inner index, which
+                # *under*-approximates the pair set.  The outer level
+                # then degrades to R04, exactly as before.
+                if e.ixfn is not None and var in e.ixfn.free_vars():
+                    e = replace(e, ixfn=None)
+                out.append(e)
+                continue
+            if var not in e.lmad.free_vars():
                 out.append(e)
                 continue
             agg = aggregate_over_loop(e.lmad, var, count, prover)
@@ -643,5 +782,7 @@ class RaceChecker:
         return out
 
 
-def check_races(fun: A.Fun, report: Report) -> None:
-    RaceChecker(fun, report).run()
+def check_races(
+    fun: A.Fun, report: Report, pool: Optional[ProverPool] = None
+) -> None:
+    RaceChecker(fun, report, pool).run()

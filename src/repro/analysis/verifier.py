@@ -33,14 +33,23 @@ CHECKERS = (
 )
 
 
-def verify_fun(fun: A.Fun, *, stage: Optional[str] = None) -> Report:
+def verify_fun(
+    fun: A.Fun, *, stage: Optional[str] = None, pool=None
+) -> Report:
     """Verify one memory-IR function; returns the full :class:`Report`.
 
     Raises nothing on findings -- inspect ``report.ok()``.  Checker
     crashes propagate: an exception here means the *verifier* is broken,
     which must never be silently conflated with a clean program.
+
+    ``pool`` is an optional shared :class:`~repro.lmad.ProverPool`; the
+    race checker's tiered disjointness queries then memoize (and tally)
+    alongside the optimization passes' own queries.
     """
     report = Report(fun_name=fun.name, stage=stage)
     for _label, checker in CHECKERS:
-        checker(fun, report)
+        if checker is check_races:
+            checker(fun, report, pool)
+        else:
+            checker(fun, report)
     return report

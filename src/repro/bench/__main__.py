@@ -45,6 +45,14 @@ FOOTPRINT_BASELINE = Path("benchmarks") / "results" / "footprint_baseline.json"
 #: ``python -m repro.bench --write-traffic-baseline``.
 TRAFFIC_BASELINE = Path("benchmarks") / "results" / "traffic_baseline.json"
 
+#: Committed reference for the prover-tier regression gate: CI fails
+#: when the optimized pipeline *decides* (structural + polyhedral) fewer
+#: disjointness/size queries than recorded, or leaves more undecided --
+#: e.g. when a prover change silently demotes polyhedral recoveries back
+#: to ``unknown``.  Regenerate with
+#: ``python -m repro.bench --write-prover-baseline``.
+PROVER_BASELINE = Path("benchmarks") / "results" / "prover_tier_baseline.json"
+
 #: Scaled-down datasets for --quick runs (same code paths, small sizes).
 QUICK_DATASETS = {
     "nw": {"q64": (64, 16)},
@@ -69,6 +77,24 @@ PERF_DATASETS = {
     "locvolcalib": (4, 16, 4),
     "nn": (5000,),
 }
+
+
+def _prover_tiers(opt) -> dict:
+    """Deciding-tier tallies summed over the optimized compile's passes."""
+    total = {"structural": 0, "polyhedral": 0, "unknown": 0}
+    per_pass = {}
+    for label, st in (
+        ("short_circuit", opt.sc_stats),
+        ("fuse", opt.fuse_stats),
+        ("reuse", opt.reuse_stats),
+    ):
+        tiers = dict(getattr(st, "tiers", None) or {})
+        if any(tiers.values()):
+            per_pass[label] = {k: v for k, v in tiers.items() if v}
+        for k, v in tiers.items():
+            total[k] = total.get(k, 0) + v
+    total["per_pass"] = per_pass
+    return total
 
 
 def main(argv=None) -> int:
@@ -100,6 +126,10 @@ def main(argv=None) -> int:
                         help="record current optimized-pipeline traffic as "
                              "the regression baseline "
                              "(benchmarks/results/traffic_baseline.json)")
+    parser.add_argument("--write-prover-baseline", action="store_true",
+                        help="record current deciding-tier tallies as the "
+                             "regression baseline "
+                             "(benchmarks/results/prover_tier_baseline.json)")
     args = parser.parse_args(argv)
 
     registry = all_benchmarks()
@@ -131,6 +161,10 @@ def main(argv=None) -> int:
     traffic_baseline = {}
     if TRAFFIC_BASELINE.exists():
         traffic_baseline = json.loads(TRAFFIC_BASELINE.read_text())
+    prover_failed = []
+    prover_baseline = {}
+    if PROVER_BASELINE.exists():
+        prover_baseline = json.loads(PROVER_BASELINE.read_text())
     results = {}
     for name in names:
         module = registry[name]
@@ -192,6 +226,22 @@ def main(argv=None) -> int:
                   f"exceeds baseline {recorded_traffic:,}", file=sys.stderr)
             traffic_failed.append(name)
 
+        prover_tier = _prover_tiers(compiled[1])
+        decided = prover_tier["structural"] + prover_tier["polyhedral"]
+        if decided or prover_tier["unknown"]:
+            print(f"prover tiers: structural {prover_tier['structural']} / "
+                  f"polyhedral {prover_tier['polyhedral']} / "
+                  f"unknown {prover_tier['unknown']}")
+        rec_tiers = prover_baseline.get(name)
+        if rec_tiers is not None:
+            rec_decided = rec_tiers["structural"] + rec_tiers["polyhedral"]
+            if decided < rec_decided or prover_tier["unknown"] > rec_tiers["unknown"]:
+                print(f"PROVER TIER REGRESSION: decided {decided} "
+                      f"(baseline {rec_decided}), unknown "
+                      f"{prover_tier['unknown']} (baseline "
+                      f"{rec_tiers['unknown']})", file=sys.stderr)
+                prover_failed.append(name)
+
         engine = None
         if args.json:
             engine = measure_engine(module, PERF_DATASETS[name], compiled)
@@ -214,6 +264,7 @@ def main(argv=None) -> int:
             "short_circuits": report.sc_committed,
             "dead_copy_reuses": report.sc_reused_copies,
             "sc_rejected": dict(report.sc_failures),
+            "prover_tier": prover_tier,
             "pipeline_trace": {
                 label: trace.to_dict()
                 for label, trace in report.traces.items()
@@ -262,6 +313,14 @@ def main(argv=None) -> int:
         TRAFFIC_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {TRAFFIC_BASELINE}")
 
+    if args.write_prover_baseline:
+        PROVER_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            name: results[name]["prover_tier"] for name in results
+        }
+        PROVER_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {PROVER_BASELINE}")
+
     if args.json:
         ts = time.strftime("%Y%m%d-%H%M%S")
         out_dir = Path("benchmarks") / "results"
@@ -292,6 +351,10 @@ def main(argv=None) -> int:
         return 1
     if traffic_failed:
         print(f"TRAFFIC REGRESSION: {', '.join(traffic_failed)}",
+              file=sys.stderr)
+        return 1
+    if prover_failed:
+        print(f"PROVER TIER REGRESSION: {', '.join(prover_failed)}",
               file=sys.stderr)
         return 1
     return 0

@@ -25,8 +25,9 @@ what makes the NW proof (paper fig. 9) go through.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.lmad.interval import (
     SumOfIntervals,
@@ -197,8 +198,59 @@ def lmads_nonoverlapping(
     return checker.check(l1, l2)
 
 
+@dataclass
+class TieredChecker(NonOverlapChecker):
+    """Structural non-overlap test with a polyhedral fallback tier.
+
+    ``check`` first runs the structural theorem (fig. 8 + splitting); on
+    failure it re-asks the same question as relation emptiness through a
+    :class:`~repro.isl.PolyEngine` and accepts only an exact ``EMPTY``
+    verdict.  Every query reports its *deciding tier* -- ``structural``,
+    ``polyhedral``, or ``unknown`` -- to the owning :class:`ProverPool`,
+    which tallies per client pass and keeps a bounded replayable log.
+    """
+
+    pool: Optional["ProverPool"] = None
+    engine: Optional[object] = None  # a repro.isl.PolyEngine
+
+    def check(self, l1: Lmad, l2: Lmad) -> bool:
+        structural = NonOverlapChecker.check(self, l1, l2)
+        result, tier = structural, "structural" if structural else "unknown"
+        if not structural and self.engine is not None:
+            from repro.isl.emptiness import Verdict
+
+            verdict = self.engine.accesses_disjoint(l1, l2)
+            if verdict is Verdict.EMPTY:
+                self.trace.append(
+                    "polyhedral fallback: overlap set proven empty"
+                )
+                result, tier = True, "polyhedral"
+            else:
+                self.trace.append(
+                    f"polyhedral fallback inconclusive ({verdict.name.lower()})"
+                )
+        if self.pool is not None:
+            self.pool.record_query(
+                self.prover.ctx, l1, l2, structural, tier, result
+            )
+        return result
+
+
+@dataclass
+class QueryRecord:
+    """One logged disjointness query, replayable by the overlap audit."""
+
+    client: str
+    ctx: object
+    l1: Lmad
+    l2: Lmad
+    structural: bool
+    tier: str
+    result: bool
+
+
 class ProverPool:
-    """Memoized :class:`Prover`/:class:`NonOverlapChecker` pairs per context.
+    """Memoized :class:`Prover`/:class:`TieredChecker` pairs per context.
 
     One :class:`~repro.symbolic.Prover` per assumption :class:`Context`
     object, shared across every query issued against that context, so the
@@ -217,38 +269,129 @@ class ProverPool:
     answers stay sound and ``False`` answers stay conservative, exactly
     as for a long-lived :class:`Prover` today.
 
+    The memo tables are LRU-bounded (``max_entries`` contexts): analyses
+    that walk many short-lived extended contexts (races, per-loop sc
+    bodies) no longer grow the pool without bound.  ``hits``/``misses``
+    count memo-table lookups and surface in the PipelineTrace.
+
     Checkers are additionally keyed by their ``enable_splitting`` flag
     (the prover itself is splitting-agnostic and shared between both
-    flavors).
+    flavors).  Checkers are :class:`TieredChecker` instances wired to a
+    pooled polyhedral engine, so every pool client transparently gets the
+    fallback tier; per-client deciding-tier tallies accumulate in
+    ``tiers`` and the last ``log_cap`` queries in ``query_log``.
     """
 
-    def __init__(self) -> None:
-        self._provers: dict = {}
-        self._checkers: dict = {}
+    def __init__(self, max_entries: int = 64, log_cap: int = 4096) -> None:
+        self.max_entries = max_entries
+        self.log_cap = log_cap
+        self._provers: "OrderedDict" = OrderedDict()
+        self._checkers: "OrderedDict" = OrderedDict()
+        self._engines: "OrderedDict" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self._client = "?"
+        #: client name -> {"structural": n, "polyhedral": n, "unknown": n}
+        self.tiers: Dict[str, Dict[str, int]] = {}
+        self.query_log: List[QueryRecord] = []
+        self.log_dropped = 0
 
     def __len__(self) -> int:
         return len(self._provers)
+
+    # -- client bookkeeping --------------------------------------------
+    def set_client(self, name: str) -> None:
+        """Name the pass issuing subsequent queries (for tier tallies)."""
+        self._client = name
+
+    def record_query(
+        self, ctx, l1: Lmad, l2: Lmad, structural: bool, tier: str,
+        result: bool,
+    ) -> None:
+        tally = self.tiers.setdefault(
+            self._client, {"structural": 0, "polyhedral": 0, "unknown": 0}
+        )
+        tally[tier] = tally.get(tier, 0) + 1
+        if len(self.query_log) < self.log_cap:
+            self.query_log.append(
+                QueryRecord(self._client, ctx, l1, l2, structural, tier, result)
+            )
+        else:
+            self.log_dropped += 1
+
+    def record_tier(self, tier: str) -> None:
+        """Tally a query decided outside a checker (e.g. injectivity)."""
+        tally = self.tiers.setdefault(
+            self._client, {"structural": 0, "polyhedral": 0, "unknown": 0}
+        )
+        tally[tier] = tally.get(tier, 0) + 1
+
+    def tier_totals(self) -> Dict[str, int]:
+        total = {"structural": 0, "polyhedral": 0, "unknown": 0}
+        for tally in self.tiers.values():
+            for k, v in tally.items():
+                total[k] = total.get(k, 0) + v
+        return total
+
+    # -- pooled objects ------------------------------------------------
+    def _touch(self, table: "OrderedDict", key) -> None:
+        table.move_to_end(key)
+
+    def _evict(self) -> None:
+        while len(self._provers) > self.max_entries:
+            evicted, _ = self._provers.popitem(last=False)
+            for key in [k for k in self._checkers if k[0] == evicted]:
+                del self._checkers[key]
+            self._engines.pop(evicted, None)
 
     def prover_for(self, ctx) -> Prover:
         """The pooled prover for ``ctx`` (created on first use)."""
         ent = self._provers.get(id(ctx))
         if ent is None or ent[0] is not ctx:
+            self.misses += 1
             ent = (ctx, Prover(ctx))
             self._provers[id(ctx)] = ent
+            self._evict()
+        else:
+            self.hits += 1
+        self._touch(self._provers, id(ctx))
+        return ent[1]
+
+    def engine_for(self, ctx):
+        """The pooled polyhedral engine for ``ctx``.
+
+        Returns ``None`` only if :mod:`repro.isl` is unavailable (it is
+        part of this tree, so in practice: never).
+        """
+        ent = self._engines.get(id(ctx))
+        if ent is None or ent[0] is not ctx:
+            from repro.isl.engine import PolyEngine
+
+            self.misses += 1
+            ent = (ctx, PolyEngine(self.prover_for(ctx)))
+            self._engines[id(ctx)] = ent
+        else:
+            self.hits += 1
         return ent[1]
 
     def checker_for(
         self, ctx, enable_splitting: bool = True
-    ) -> "NonOverlapChecker":
-        """The pooled non-overlap checker for ``ctx``."""
+    ) -> "TieredChecker":
+        """The pooled tiered non-overlap checker for ``ctx``."""
         key = (id(ctx), enable_splitting)
         ent = self._checkers.get(key)
         if ent is None or ent[0] is not ctx:
-            checker = NonOverlapChecker(
-                self.prover_for(ctx), enable_splitting=enable_splitting
+            self.misses += 1
+            checker = TieredChecker(
+                self.prover_for(ctx),
+                enable_splitting=enable_splitting,
+                pool=self,
+                engine=self.engine_for(ctx),
             )
             ent = (ctx, checker)
             self._checkers[key] = ent
+        else:
+            self.hits += 1
         return ent[1]
 
     def pair_for(
@@ -257,6 +400,27 @@ class ProverPool:
         """(prover, checker) for ``ctx`` -- the common client shape."""
         checker = self.checker_for(ctx, enable_splitting)
         return checker.prover, checker
+
+    # -- tiered injectivity --------------------------------------------
+    def injective(self, ctx, l: Lmad) -> bool:
+        """Tiered injectivity: structural test, then relation emptiness.
+
+        The polyhedral form asks whether two *distinct* index tuples can
+        map to the same flat offset; an exact EMPTY on every distinctness
+        piece proves injectivity.
+        """
+        prover = self.prover_for(ctx)
+        if lmad_injective(l, prover):
+            self.record_tier("structural")
+            return True
+        engine = self.engine_for(ctx)
+        from repro.isl.emptiness import Verdict
+
+        if engine.lmad_injective(l) is Verdict.EMPTY:
+            self.record_tier("polyhedral")
+            return True
+        self.record_tier("unknown")
+        return False
 
 
 def lmad_injective(l: Lmad, prover: Optional[Prover] = None) -> bool:

@@ -83,14 +83,27 @@ class FuseStats:
     attempted: int = 0
     committed: int = 0
     rounds: int = 0
+    #: Deciding-tier tallies for this pass's disjointness queries
+    #: (``structural`` / ``polyhedral`` / ``unknown``), from the pool.
+    tiers: Dict[str, int] = field(default_factory=dict)
     failures: Dict[str, int] = field(default_factory=dict)
     failure_records: List[FuseFailure] = field(default_factory=list)
+    #: Re-failures of an already-tallied site (fixpoint rounds re-attempt
+    #: every pair), suppressed from the per-rule tallies.
+    repeat_failures: int = 0
     #: (intermediate, consumer-names) per committed fusion.
     committed_pairs: List[Tuple[str, Tuple[str, ...]]] = field(
         default_factory=list
     )
 
     def fail(self, reason: str, location: str = "") -> None:
+        # One site, one tally: a pair rejected again on a later fixpoint
+        # round counts only under the rule that first decided it.
+        if location and any(
+            r.location == location for r in self.failure_records
+        ):
+            self.repeat_failures += 1
+            return
         self.failures[reason] = self.failures.get(reason, 0) + 1
         self.failure_records.append(FuseFailure(reason, location))
 
@@ -100,6 +113,9 @@ class FuseStats:
             f"fusions committed : {self.committed}",
             f"fixpoint rounds   : {self.rounds}",
         ]
+        for tier, count in sorted(self.tiers.items()):
+            if count:
+                lines.append(f"  tier ({tier}): {count}")
         for reason, count in sorted(self.failures.items()):
             lines.append(f"  failed ({reason}): {count}")
         return "\n".join(lines)
@@ -241,6 +257,8 @@ class _Fuser:
 
     # ------------------------------------------------------------------
     def run(self) -> FuseStats:
+        self._pool.set_client("fuse")
+        tier_base = dict(self._pool.tiers.get("fuse", {}))
         for _ in range(self.max_rounds):
             info = analyze_last_uses(self.fun)
             self.aliases = info.aliases
@@ -255,6 +273,11 @@ class _Fuser:
                 break
         else:
             analyze_last_uses(self.fun)
+        tier_now = self._pool.tiers.get("fuse", {})
+        self.stats.tiers = {
+            k: tier_now.get(k, 0) - tier_base.get(k, 0)
+            for k in set(tier_now) | set(tier_base)
+        }
         return self.stats
 
     # ------------------------------------------------------------------

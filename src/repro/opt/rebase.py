@@ -20,10 +20,11 @@ it is being moved to (paper section V-A-b).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Set
+from typing import Dict, Mapping, Optional, Set, Tuple
 
 from repro.lmad import IndexFn
-from repro.symbolic import Prover, SymExpr
+from repro.lmad.lmad import Lmad, LmadDim
+from repro.symbolic import Prover, SymExpr, sym
 
 from repro.ir import ast as A
 
@@ -52,6 +53,46 @@ def inverse_rebase(
         return rebased.reshape(list(src_shape), prover)
     # SliceT / LmadSlice: not surjective, not invertible.
     return None
+
+
+def widened_slice_inverse(
+    exp: A.Exp, rebased: IndexFn, src_shape, prover: Prover
+) -> Optional[Tuple[IndexFn, Tuple[SymExpr, ...], Tuple[SymExpr, ...]]]:
+    """Widened inverse of a unit-step triplet slice (polyhedral tier).
+
+    ``candidate = src[s1:c1:1, ...]`` is not invertible, but when every
+    step is provably 1 the slice's destination footprint is a contiguous
+    sub-box of a *widened* layout for ``src``: keep the candidate's
+    strides, pull the offset back by ``sum(s_k * stride_k)``, and extend
+    each extent to the full source shape.  The widened layout writes
+    ``src`` elements outside the slice box to addresses the slice never
+    claimed, so the caller must prove that leftover region (see
+    :func:`repro.isl.bridge.slice_box_difference`) is not otherwise used.
+
+    Steps > 1 are rejected: the leftover of a strided slice is not a
+    union of box faces, so the contiguous difference would under-count.
+
+    Returns ``(widened_ixfn, starts, counts)`` or ``None``.
+    """
+    if not isinstance(exp, A.SliceT):
+        return None
+    single = rebased.as_single()
+    if single is None:
+        return None
+    trips = exp.triplets
+    if len(trips) != len(single.dims) or len(trips) != len(src_shape):
+        return None
+    if not all(prover.eq(step, sym(1)) for _, _, step in trips):
+        return None
+    offset = single.offset
+    dims = []
+    for (start, _, _), d, extent in zip(trips, single.dims, src_shape):
+        offset = offset - sym(start) * d.stride
+        dims.append(LmadDim(sym(extent), d.stride))
+    widened = IndexFn((Lmad(offset, tuple(dims)),))
+    starts = tuple(sym(t[0]) for t in trips)
+    counts = tuple(sym(t[1]) for t in trips)
+    return widened, starts, counts
 
 
 def translate_ixfn(

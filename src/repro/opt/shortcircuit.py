@@ -31,14 +31,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.lmad import IndexFn, NonOverlapChecker
+from repro.lmad import IndexFn, NonOverlapChecker, ProverPool
 from repro.symbolic import Context, Prover, SymExpr, sym
 
 from repro.ir import ast as A
 from repro.ir.lastuse import analyze_last_uses
 from repro.ir.types import ArrayType
 from repro.mem.memir import MemBinding, binding_of, param_mem_name
-from repro.opt.rebase import inverse_rebase, translate_ixfn
+from repro.opt.rebase import inverse_rebase, translate_ixfn, widened_slice_inverse
 from repro.opt.summaries import (
     AccessSet,
     collect_block_dst_uses,
@@ -74,14 +74,36 @@ class ShortCircuitStats:
     #: memory block" footprint optimization; drives the NN benchmark).
     reused_copies: int = 0
     rounds: int = 0
+    #: Candidates committed only thanks to a widened slice inverse (the
+    #: polyhedral leftover-region obligation proved); a strict subset of
+    #: ``committed``.
+    widened_candidates: int = 0
+    #: Rebased writes classified as provable no-ops (value already present
+    #: at the target address) and thereby exempted from the leftover check.
+    noop_writes: int = 0
+    #: Deciding-tier tallies for this pass's disjointness queries
+    #: (``structural`` / ``polyhedral`` / ``unknown``), from the pool.
+    tiers: Dict[str, int] = field(default_factory=dict)
     failures: Dict[str, int] = field(default_factory=dict)
     #: Per-candidate failure records ((rule, location) pairs); the
     #: ``failures`` tallies above are kept in sync and derivable from
     #: these.
     failure_records: List[ScFailure] = field(default_factory=list)
+    #: Re-failures of an already-tallied site (fixpoint rounds re-attempt
+    #: every candidate), suppressed from the per-rule tallies.
+    repeat_failures: int = 0
     committed_roots: List[str] = field(default_factory=list)
 
     def fail(self, reason: str, location: str = "") -> None:
+        # One site, one tally: a candidate rejected again on a later
+        # fixpoint round (possibly by a different rule, the program
+        # having changed around it) counts only under the rule that
+        # first decided it.
+        if location and any(
+            r.location == location for r in self.failure_records
+        ):
+            self.repeat_failures += 1
+            return
         self.failures[reason] = self.failures.get(reason, 0) + 1
         self.failure_records.append(ScFailure(reason, location))
 
@@ -92,6 +114,13 @@ class ShortCircuitStats:
             f"dead-copy reuses     : {self.reused_copies}",
             f"fixpoint rounds      : {self.rounds}",
         ]
+        if self.widened_candidates:
+            lines.append(f"widened-slice commits: {self.widened_candidates}")
+        if self.noop_writes:
+            lines.append(f"no-op writes exempted: {self.noop_writes}")
+        for tier, count in sorted(self.tiers.items()):
+            if count:
+                lines.append(f"  tier ({tier}): {count}")
         for reason, count in sorted(self.failures.items()):
             lines.append(f"  failed ({reason}): {count}")
         return "\n".join(lines)
@@ -141,6 +170,12 @@ class _Candidate:
         self.first_write_pos: Optional[int] = None
         #: Boundary names (loop params) the chain was closed against.
         self.boundary_used: Set[str] = set()
+        #: Leftover regions of widened slice inverses (IntSets of address
+        #: space); non-empty iff some link of the chain was widened.  Every
+        #: real write above that link must be proven disjoint from these.
+        self.extra_sets: List = []
+        #: Count of writes classified as provable no-ops.
+        self.noops: int = 0
 
 
 class _Failure(Exception):
@@ -173,41 +208,34 @@ class _ShortCircuiter:
         self.shared = shared
         self.stats = ShortCircuitStats()
         self._rebased: Set[str] = set()
-        #: One Prover (and its NonOverlapChecker) per assumption context,
-        #: shared across every non-overlap query issued against that
-        #: context within a round, so the prover's memo table amortizes
-        #: over all circuit points of a block instead of being rebuilt
-        #: per query batch (paper section V-D).  Entries hold a strong
-        #: reference to the context so the id() key cannot be recycled.
-        self._prover_cache: Dict[int, Tuple[Context, Prover, NonOverlapChecker]] = {}
+        #: One Prover (and its tiered NonOverlapChecker) per assumption
+        #: context, shared across every non-overlap query issued against
+        #: that context, so the prover's memo table amortizes over all
+        #: circuit points of a block instead of being rebuilt per query
+        #: batch (paper section V-D).  A compilation-shared pool extends
+        #: the amortization across passes; a standalone run gets a private
+        #: pool with the same LRU bounds and polyhedral fallback tier.
+        self._pool: ProverPool = (
+            shared.provers if shared is not None else ProverPool()
+        )
         self._cross_iter_cache: Dict[tuple, Tuple[Context, NonOverlapChecker]] = {}
 
     def _prover_for(self, ctx: Context) -> Tuple[Prover, NonOverlapChecker]:
-        if self.shared is not None:
-            return self.shared.provers.pair_for(ctx, self.enable_splitting)
-        ent = self._prover_cache.get(id(ctx))
-        if ent is None or ent[0] is not ctx:
-            prover = Prover(ctx)
-            checker = NonOverlapChecker(
-                prover, enable_splitting=self.enable_splitting
-            )
-            ent = (ctx, prover, checker)
-            self._prover_cache[id(ctx)] = ent
-        return ent[1], ent[2]
+        return self._pool.pair_for(ctx, self.enable_splitting)
 
     # ==================================================================
     def run(self) -> ShortCircuitStats:
         from repro.mem.introduce import refresh_derived_bindings
 
+        self._pool.set_client("sc")
+        tier_base = dict(self._pool.tiers.get("sc", {}))
         for _ in range(self.max_rounds):
             analyze_last_uses(self.fun)
             self.stats.rounds += 1
             # Per-round contexts are rebuilt (and may gain equalities)
-            # every round; locally memoized answers must not leak across
-            # that boundary.  A shared pool needs no clearing: rebuilt
-            # contexts are new objects with fresh entries, and the
+            # every round.  The pool needs no clearing: rebuilt contexts
+            # are new objects with fresh (LRU-bounded) entries, and the
             # long-lived root context's facts are stable across rounds.
-            self._prover_cache.clear()
             self._cross_iter_cache.clear()
             root_scope = self._root_scope()
             changed = self._process_block(self.fun.body, root_scope)
@@ -216,6 +244,11 @@ class _ShortCircuiter:
             refresh_derived_bindings(self.fun)
             if not changed:
                 break
+        tier_now = self._pool.tiers.get("sc", {})
+        self.stats.tiers = {
+            k: tier_now.get(k, 0) - tier_base.get(k, 0)
+            for k in set(tier_now) | set(tier_base)
+        }
         return self.stats
 
     def _root_scope(self) -> _Scope:
@@ -500,6 +533,9 @@ class _ShortCircuiter:
             self._rebased.add(pname)
         self.stats.committed += 1
         self.stats.committed_roots.append(cand.root)
+        if cand.extra_sets:
+            self.stats.widened_candidates += 1
+        self.stats.noop_writes += cand.noops
         return True
 
     def _walk(
@@ -556,7 +592,95 @@ class _ShortCircuiter:
             raise _Failure(f"{what}:write-overlaps-uses")
         if extra_uses is not None and not w.disjoint_from(extra_uses, checker):
             raise _Failure(f"{what}:write-overlaps-kernel-reads")
+        if cand.extra_sets:
+            self._check_extra_obligation(w, cand, checker, what)
         cand.writes.add_all(w)
+
+    def _check_extra_obligation(
+        self,
+        w: AccessSet,
+        cand: _Candidate,
+        checker: NonOverlapChecker,
+        what: str,
+    ) -> None:
+        """Real writes above a widened slice link must stay inside the
+        slice box: prove each write disjoint from every leftover region
+        (a relation-emptiness query -- there is no structural form)."""
+        engine = getattr(checker, "engine", None)
+        if engine is None:
+            raise _Failure(f"{what}:widened-extra-unverifiable")
+        from repro.isl.emptiness import Verdict
+
+        for extra in cand.extra_sets:
+            for l in w.lmads:
+                if engine.disjoint_from_extra(l, extra) is not Verdict.EMPTY:
+                    self._pool.record_tier("unknown")
+                    raise _Failure(f"{what}:widened-extra-clobbered")
+                self._pool.record_tier("polyhedral")
+
+    def _is_noop_write(
+        self,
+        j: int,
+        block: A.Block,
+        scope: _Scope,
+        exp: A.Update,
+        region: IndexFn,
+        prover: Prover,
+        cand: _Candidate,
+    ) -> bool:
+        """Is this rebased point write provably a no-op?
+
+        The boundary fills of a widened candidate (e.g. NW's first row /
+        first column, paper fig. 9) read a destination-memory element and
+        -- under the widened layout -- store it back at the very same
+        address.  Conditions: the stored value is defined by an ``Index``
+        of a non-chain array bound to the destination block, no statement
+        between the read and the write can touch memory, and the read
+        address provably equals the write address.
+        """
+        if not isinstance(exp.spec, A.PointSpec):
+            return False
+        if not isinstance(exp.value, str):
+            return False
+        single = region.as_single()
+        if single is None or single.dims:
+            return False
+        def_idx = None
+        for i in range(j - 1, -1, -1):
+            if exp.value in block.stmts[i].names:
+                def_idx = i
+                break
+        if def_idx is None:
+            return False
+        vdef = block.stmts[def_idx].exp
+        if not isinstance(vdef, A.Index) or vdef.src in cand.names:
+            return False
+        vb = scope.bindings.get(vdef.src)
+        if vb is None or vb.mem != cand.dst_mem:
+            return False
+        vsingle = vb.ixfn.as_single()
+        if vsingle is None:
+            return False
+        for i in range(def_idx + 1, j):
+            mid = block.stmts[i].exp
+            if not isinstance(
+                mid,
+                (
+                    A.ScalarE,
+                    A.Lit,
+                    A.Index,
+                    A.BinOp,
+                    A.UnOp,
+                    A.SliceT,
+                    A.LmadSlice,
+                    A.Rearrange,
+                    A.Reshape,
+                    A.Reverse,
+                    A.VarRef,
+                ),
+            ):
+                return False
+        return prover.eq(vsingle.apply(vdef.indices), single.offset)
 
     def _translated(
         self, F: IndexFn, scope: _Scope, j: int
@@ -607,7 +731,23 @@ class _ShortCircuiter:
                     raise _Failure("layout-src-unbound")
                 inv = inverse_rebase(exp, Ft, src_b.ixfn.shape, prover)
                 if inv is None:
-                    raise _Failure("non-invertible-layout")
+                    # Polyhedral tier: a unit-step triplet slice has a
+                    # *widened* inverse covering the full source shape.
+                    # The widened layout claims extra destination
+                    # addresses (the box faces outside the slice); every
+                    # real write above this link must be proven disjoint
+                    # from that leftover region (see _check_write).
+                    wide = widened_slice_inverse(
+                        exp, Ft, src_b.ixfn.shape, prover
+                    )
+                    if wide is None:
+                        raise _Failure("non-invertible-layout")
+                    from repro.isl.bridge import slice_box_difference
+
+                    inv, starts, counts = wide
+                    cand.extra_sets.append(
+                        slice_box_difference(inv.as_single(), starts, counts)
+                    )
                 cand.planned.append((pe, MemBinding(cand.dst_mem, Ft)))
                 cand.pending[src] = inv
                 cand.names.add(src)
@@ -617,15 +757,29 @@ class _ShortCircuiter:
                 region = _ixfn_region_of_update(
                     MemBinding(cand.dst_mem, Ft), exp.spec
                 )
-                # If the written value itself reads destination memory, the
-                # read and the (simultaneous) write must not overlap.
-                extra = None
-                if isinstance(exp.value, str) and exp.value not in cand.names:
-                    vb = scope.bindings.get(exp.value)
-                    if vb is not None and vb.mem == cand.dst_mem:
-                        extra = AccessSet()
-                        extra.add_ixfn(vb.ixfn)
-                self._check_write(region, cand, checker, "update", extra)
+                if cand.extra_sets and self._is_noop_write(
+                    j, block, scope, exp, region, prover, cand
+                ):
+                    # The write provably stores the value already present
+                    # at its (widened) address: it does not change memory,
+                    # so it is exempt from the write checks -- while its
+                    # defining read stays in the use summary, keeping the
+                    # cross-thread conditions intact.
+                    cand.noops += 1
+                else:
+                    # If the written value itself reads destination
+                    # memory, the read and the (simultaneous) write must
+                    # not overlap.
+                    extra = None
+                    if (
+                        isinstance(exp.value, str)
+                        and exp.value not in cand.names
+                    ):
+                        vb = scope.bindings.get(exp.value)
+                        if vb is not None and vb.mem == cand.dst_mem:
+                            extra = AccessSet()
+                            extra.add_ixfn(vb.ixfn)
+                    self._check_write(region, cand, checker, "update", extra)
                 cand.planned.append((pe, MemBinding(cand.dst_mem, Ft)))
                 cand.pending[exp.src] = Ft
                 cand.names.add(exp.src)
@@ -720,6 +874,7 @@ class _ShortCircuiter:
             self._populate_scope(child)
             sub = _Candidate(res, Ft, cand.dst_mem)
             sub.names |= cand.names
+            sub.extra_sets = cand.extra_sets
             sub.uses.add_all(cand.uses)
             self._walk(blk, child, len(blk.stmts), sub, prover, checker)
             if sub.pending:
@@ -729,6 +884,7 @@ class _ShortCircuiter:
             cand.writes.add_all(sub.writes)
             cand.uses.add_all(sub.uses)
             cand.names |= sub.names
+            cand.noops += sub.noops
 
     # ------------------------------------------------------------------
     def _handle_loop_definition(
@@ -750,6 +906,7 @@ class _ShortCircuiter:
         body_prover, body_checker = self._prover_for(child.ctx)
         sub = _Candidate(body_res, Ft, cand.dst_mem)
         sub.names |= cand.names
+        sub.extra_sets = cand.extra_sets
         self._walk(
             exp.body,
             child,
@@ -797,6 +954,7 @@ class _ShortCircuiter:
         cand.writes.add_all(w_loop)
         cand.uses.add_all(u_loop)
         cand.names |= sub.names
+        cand.noops += sub.noops
         # Fig. 5b condition (4): the initializer is rebased too.
         cand.pending[init] = Ft
         cand.names.add(init)
@@ -830,9 +988,7 @@ class _ShortCircuiter:
             if ent is None or ent[0] is not scope.ctx:
                 ctx = scope.ctx.extended()
                 ctx.assume_range(jvar, lo, hi)
-                checker = NonOverlapChecker(
-                    Prover(ctx), enable_splitting=self.enable_splitting
-                )
+                checker = self._pool.checker_for(ctx, self.enable_splitting)
                 self._cross_iter_cache[key] = (scope.ctx, checker)
             else:
                 checker = ent[1]

@@ -109,21 +109,24 @@ class PassManager:
         from repro.analysis import VerificationError, verify_fun
 
         t0 = time.perf_counter()
-        report = verify_fun(ctx.mfun, stage=label)
+        report = verify_fun(ctx.mfun, stage=label, pool=ctx.provers)
         seconds = time.perf_counter() - t0
         ctx.verify_reports[label] = report
         name = f"verify[{label}]"
+        detail = {
+            "checks": report.checks,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "notes": len(report.notes),
+        }
+        if report.tiers:
+            detail["tiers"] = dict(report.tiers)
         rec = PassRecord(
             kind=KIND_VERIFY,
             name=name,
             key=self._unique_key(name, used_keys),
             seconds=seconds,
-            detail={
-                "checks": report.checks,
-                "errors": len(report.errors),
-                "warnings": len(report.warnings),
-                "notes": len(report.notes),
-            },
+            detail=detail,
         )
         trace.records.append(rec)
         if not report.ok():

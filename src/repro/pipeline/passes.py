@@ -45,6 +45,19 @@ def _compiler():
     return compiler
 
 
+def _pool_detail(ctx: CompileContext, tiers: Dict[str, int]) -> Dict[str, object]:
+    """PassRecord detail entries for the prover pool's deciding-tier
+    tallies and (cumulative) memo hit/miss counters."""
+    detail: Dict[str, object] = {}
+    if any(tiers.values()):
+        detail["tiers"] = {k: v for k, v in tiers.items() if v}
+    pool = getattr(ctx, "provers", None)
+    if pool is not None:
+        detail["pool_hits"] = pool.hits
+        detail["pool_misses"] = pool.misses
+    return detail
+
+
 def _count_stmts(fun: Optional["A.Fun"]) -> Tuple[int, int]:
     """(total statements, alloc statements) of a memory function."""
     if fun is None:
@@ -186,6 +199,7 @@ class ShortCircuitPass(Pass):
             committed=st.committed,
             reused_copies=st.reused_copies,
             rounds=st.rounds,
+            **_pool_detail(ctx, st.tiers),
         )
         rec.rejections = dict(st.failures)
         return rec
@@ -222,6 +236,7 @@ class FusePass(Pass):
             attempted=st.attempted,
             committed=st.committed,
             rounds=st.rounds,
+            **_pool_detail(ctx, st.tiers),
         )
         rec.rejections = dict(st.failures)
         return rec
@@ -243,6 +258,7 @@ class ReusePass(Pass):
             changed=bool(st.mapping),
             merged=st.merged,
             widened=st.widened,
+            **_pool_detail(ctx, st.tiers),
         )
         rec.rejections = dict(st.rejected)
         return rec

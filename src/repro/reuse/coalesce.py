@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir import ast as A
+from repro.lmad import ProverPool
 from repro.mem.hoist import rewrite_mem_bindings
 from repro.reuse.interference import AllocNode, InterferenceGraph
 from repro.reuse.liveranges import LiveRanges
@@ -41,6 +42,9 @@ class ReuseStats:
 
     merged: int = 0
     widened: int = 0
+    #: Deciding-tier tallies for this pass's size proofs (``structural``
+    #: / ``polyhedral`` / ``unknown``), from the pool.
+    tiers: Dict[str, int] = field(default_factory=dict)
     #: reason -> count for candidates that found no donor
     rejected: Dict[str, int] = field(default_factory=dict)
     #: (survivor, candidate, "equal" | "fits" | "widened")
@@ -64,10 +68,16 @@ class _Coalescer:
         #: root assumption context and the Prover memo pool the earlier
         #: passes already warmed up.
         self.shared = shared
+        self._pool: ProverPool = (
+            shared.provers if shared is not None else ProverPool()
+        )
         self.ranges = LiveRanges(fun)
         self.stats = ReuseStats()
+        self._engine = None
 
     def run(self) -> ReuseStats:
+        self._pool.set_client("reuse")
+        tier_base = dict(self._pool.tiers.get("reuse", {}))
         root = (
             self.shared.root_context()
             if self.shared is not None
@@ -80,6 +90,11 @@ class _Coalescer:
         )
         if self.stats.mapping:
             rewrite_mem_bindings(self.fun, self.stats.mapping)
+        tier_now = self._pool.tiers.get("reuse", {})
+        self.stats.tiers = {
+            k: tier_now.get(k, 0) - tier_base.get(k, 0)
+            for k in set(tier_now) | set(tier_base)
+        }
         return self.stats
 
     # ------------------------------------------------------------------
@@ -126,11 +141,8 @@ class _Coalescer:
         scan = graph.ordered()
         if len(scan) < 2:
             return
-        prover = (
-            self.shared.provers.prover_for(ctx)
-            if self.shared is not None
-            else Prover(ctx)
-        )
+        prover = self._pool.prover_for(ctx)
+        self._engine = self._pool.engine_for(ctx)
         # Names defined before each statement, for the widening scope check.
         prefix: List[Set[str]] = []
         defined = set(outer)
@@ -185,16 +197,33 @@ class _Coalescer:
         prover: Prover,
         prefix: List[Set[str]],
     ) -> Optional[str]:
+        widen_ok = node.size.free_vars() <= prefix[donor.pos]
         if prover.eq(node.size, donor.size):
+            self._pool.record_tier("structural")
             return "equal"
         if prover.le(node.size, donor.size):
+            self._pool.record_tier("structural")
             return "fits"
-        if prover.le(donor.size, node.size) and node.size.free_vars() <= (
-            prefix[donor.pos]
-        ):
+        if widen_ok and prover.le(donor.size, node.size):
             # max(donor, candidate) == candidate, provably: widening the
             # surviving alloc to the candidate's size covers both.
+            self._pool.record_tier("structural")
             return "widened"
+        # Polyhedral fallback: re-ask each inequality as the emptiness
+        # of its negation (Fourier-Motzkin chains symbolic bounds the
+        # interval prover's substitution strategies miss).
+        if self._engine is not None:
+            if self._engine.entails_nonneg(
+                sym(donor.size) - sym(node.size)
+            ):
+                self._pool.record_tier("polyhedral")
+                return "fits"
+            if widen_ok and self._engine.entails_nonneg(
+                sym(node.size) - sym(donor.size)
+            ):
+                self._pool.record_tier("polyhedral")
+                return "widened"
+        self._pool.record_tier("unknown")
         return None
 
 

@@ -28,18 +28,42 @@ def test_benchmark_verifies_clean(name, sc):
 
 
 def test_mutated_pass_is_caught(monkeypatch):
-    """Break short-circuiting's overlap check; the verifier must object.
+    """Sabotage short-circuiting; the verifier must object.
 
-    With ``NonOverlapChecker.check`` forced to ``True`` during
-    compilation, the pass happily commits candidates whose writes overlap
-    live data.  The verifier (run afterwards, with the real prover) has
-    to flag at least one race/liveness error on some benchmark -- if it
-    stays silent, it is not actually checking anything the pass could get
-    wrong.
+    Two simultaneous mutations: the overlap check is forced to ``True``
+    (both tiers short out through ``NonOverlapChecker.check``, so every
+    candidate commits unchecked), and index-function translation
+    mis-places every rebased layout by one element.  The pass then
+    installs rebases whose images genuinely escape their blocks or
+    collide with live data.  The verifier (run afterwards, with honest
+    provers in both tiers) has to flag at least one benchmark -- if it
+    stays silent, it is not actually checking anything the pass could
+    get wrong.
+
+    Note the checker sabotage *alone* no longer suffices: every
+    candidate the pass attempts on these benchmarks is genuinely safe
+    (the polyhedral tier proves the formerly-unprovable ones), so the
+    committed programs would be correct and the verifier right to stay
+    quiet.
     """
+    import repro.opt.shortcircuit as scmod
+    from repro.lmad import IndexFn
+    from repro.lmad.lmad import Lmad
+    from repro.opt.rebase import translate_ixfn as real_translate
+    from repro.symbolic import sym
+
+    def shifted_translate(ixfn, available, symtab, max_rounds=16):
+        out = real_translate(ixfn, available, symtab, max_rounds)
+        if out is None:
+            return None
+        return IndexFn(
+            tuple(Lmad(l.offset + sym(1), l.dims) for l in out.lmads)
+        )
+
     broken_funs = []
     with monkeypatch.context() as m:
         m.setattr(NonOverlapChecker, "check", lambda self, a, b: True)
+        m.setattr(scmod, "translate_ixfn", shifted_translate)
         for name in BENCHMARKS:
             fun = all_benchmarks()[name].build()
             broken_funs.append(

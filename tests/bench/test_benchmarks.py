@@ -22,10 +22,12 @@ from repro.mem.exec import MemExecutor
 
 BENCH = all_benchmarks()
 
-#: Expected committed short-circuits (+reuses) per benchmark.
+#: Expected committed short-circuits (+reuses) per benchmark.  nw's two
+#: extra commits are widened-slice recoveries and lud's ninth is a
+#: cross-iteration proof -- all decided by the polyhedral fallback tier.
 EXPECTED_SC = {
-    "nw": 2,
-    "lud": 8,
+    "nw": 4,
+    "lud": 9,
     "hotspot": 7,
     "lbm": 1,
     "optionpricing": 1,
@@ -98,12 +100,24 @@ def test_dry_equals_real_traffic(name, compiled):
 
 
 def test_nw_requires_dimension_splitting():
-    """Compiling NW with the baseline [9]-style test loses both circuits."""
+    """The baseline [9]-style *structural* test loses NW's circuits.
+
+    Without dimension splitting the fig. 8 theorem proves none of NW's
+    candidates; every commit that survives is decided by the polyhedral
+    fallback tier (relation emptiness needs no splitting, so it recovers
+    the full strong-compile count).
+    """
     from repro.compiler import compile_fun
 
     fun = BENCH["nw"].build()
     weak = compile_fun(fun, enable_splitting=False)
-    assert weak.sc_stats.committed == 0
+    assert weak.sc_stats.committed == 4, weak.sc_stats.summary()
+    assert weak.sc_stats.tiers.get("structural", 0) == 0, (
+        weak.sc_stats.summary()
+    )
+    assert weak.sc_stats.tiers.get("polyhedral", 0) > 0, (
+        weak.sc_stats.summary()
+    )
 
 
 def test_tables_render(compiled):

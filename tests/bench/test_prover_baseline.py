@@ -1,0 +1,41 @@
+"""The prover-tier regression baseline stays in sync with the compiler."""
+
+import json
+from pathlib import Path
+
+from repro.bench.__main__ import PROVER_BASELINE, _prover_tiers
+from repro.bench.programs import all_benchmarks
+from repro.compiler import compile_fun
+
+BASELINE = Path(__file__).resolve().parents[2] / PROVER_BASELINE
+
+
+def test_baseline_file_has_all_benchmarks():
+    recorded = json.loads(BASELINE.read_text())
+    assert set(recorded) == set(all_benchmarks())
+    for tallies in recorded.values():
+        assert {"structural", "polyhedral", "unknown"} <= set(tallies)
+
+
+def test_current_compile_meets_baseline():
+    """The gate ``python -m repro.bench`` enforces, replicated: the
+    compiler must decide at least as many queries as recorded, and must
+    not leave more undecided."""
+    recorded = json.loads(BASELINE.read_text())
+    for name in ("nw", "lud"):
+        opt = compile_fun(all_benchmarks()[name].build())
+        now = _prover_tiers(opt)
+        base = recorded[name]
+        assert (
+            now["structural"] + now["polyhedral"]
+            >= base["structural"] + base["polyhedral"]
+        ), (name, now, base)
+        assert now["unknown"] <= base["unknown"], (name, now, base)
+
+
+def test_polyhedral_recoveries_are_recorded():
+    """The headline result -- nw's and lud's polyhedral recoveries --
+    must be visible in the committed baseline."""
+    recorded = json.loads(BASELINE.read_text())
+    assert recorded["nw"]["polyhedral"] >= 2
+    assert recorded["lud"]["polyhedral"] >= 4

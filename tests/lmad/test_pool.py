@@ -1,0 +1,162 @@
+"""ProverPool: memo LRU bound, counters, query log, tier bookkeeping."""
+
+import pytest
+
+from repro.isl.engine import PolyEngine
+from repro.lmad.lmad import Lmad, LmadDim
+from repro.lmad.overlap import NonOverlapChecker, ProverPool, TieredChecker
+from repro.symbolic import Context, sym
+
+
+def L(off, *dims):
+    return Lmad(sym(off), tuple(LmadDim(sym(s), sym(st)) for s, st in dims))
+
+
+#: Disjoint, and provably so by the structural (interval) checker.
+STRUCTURAL_PAIR = (L(0, (4, 1)), L(4, (4, 1)))
+#: {0,6,12} vs {1,5,9}: mismatched strides defeat the sums-of-intervals
+#: conversion, but 6i == 1 + 4j has no integer solution (gcd test).
+POLYHEDRAL_PAIR = (L(0, (3, 6)), L(1, (3, 4)))
+#: Genuinely overlapping.
+OVERLAP_PAIR = (L(0, (4, 1)), L(2, (4, 1)))
+
+
+class TestPooling:
+    def test_prover_identity_and_counters(self):
+        pool = ProverPool()
+        ctx = Context()
+        p1 = pool.prover_for(ctx)
+        assert pool.misses == 1 and pool.hits == 0
+        assert pool.prover_for(ctx) is p1
+        assert pool.hits == 1
+        # A different context gets its own prover.
+        assert pool.prover_for(Context()) is not p1
+        assert pool.misses == 2
+
+    def test_checker_keyed_by_splitting_flag(self):
+        pool = ProverPool()
+        ctx = Context()
+        strong = pool.checker_for(ctx)
+        weak = pool.checker_for(ctx, enable_splitting=False)
+        assert strong is not weak
+        assert strong.enable_splitting and not weak.enable_splitting
+        # Both flavors share the one pooled prover for the context.
+        assert strong.prover is weak.prover
+        assert pool.checker_for(ctx) is strong
+
+    def test_lru_bound_evicts_oldest(self):
+        pool = ProverPool(max_entries=3)
+        ctxs = [Context() for _ in range(5)]
+        for ctx in ctxs:
+            pool.checker_for(ctx)
+        assert len(pool) == 3
+        misses = pool.misses
+        # The oldest contexts were evicted: asking again is a miss...
+        pool.prover_for(ctxs[0])
+        assert pool.misses == misses + 1
+        # ...while the newest is still resident.
+        hits = pool.hits
+        pool.prover_for(ctxs[-1])
+        assert pool.hits == hits + 1
+
+    def test_eviction_drops_dependent_checkers(self):
+        pool = ProverPool(max_entries=1)
+        a, b = Context(), Context()
+        chk_a = pool.checker_for(a)
+        pool.checker_for(b)  # evicts a's prover and checker
+        assert pool.checker_for(a) is not chk_a
+
+
+class TestTieredChecker:
+    def test_structural_tier_records(self):
+        pool = ProverPool()
+        pool.set_client("sc")
+        chk = pool.checker_for(Context())
+        assert chk.check(*STRUCTURAL_PAIR)
+        assert pool.tiers["sc"]["structural"] == 1
+        assert pool.tiers["sc"]["polyhedral"] == 0
+
+    def test_polyhedral_fallback_recovers_gcd_disjointness(self):
+        pool = ProverPool()
+        pool.set_client("sc")
+        ctx = Context()
+        # The structural tier alone cannot prove this pair...
+        assert not NonOverlapChecker(pool.prover_for(ctx)).check(
+            *POLYHEDRAL_PAIR
+        )
+        # ...the tiered checker can, and attributes the proof correctly.
+        assert pool.checker_for(ctx).check(*POLYHEDRAL_PAIR)
+        assert pool.tiers["sc"]["polyhedral"] == 1
+        (rec,) = [r for r in pool.query_log if r.tier == "polyhedral"]
+        assert rec.result and not rec.structural
+
+    def test_overlap_is_unknown_not_disjoint(self):
+        pool = ProverPool()
+        pool.set_client("fuse")
+        assert not pool.checker_for(Context()).check(*OVERLAP_PAIR)
+        assert pool.tiers["fuse"]["unknown"] == 1
+        (rec,) = pool.query_log
+        assert rec.client == "fuse" and not rec.result
+
+    def test_query_log_cap_counts_drops(self):
+        pool = ProverPool(log_cap=2)
+        chk = pool.checker_for(Context())
+        for off in range(4):
+            chk.check(L(off * 10, (2, 1)), L(off * 10 + 5, (2, 1)))
+        assert len(pool.query_log) == 2
+        assert pool.log_dropped == 2
+
+    def test_tier_totals_aggregates_clients(self):
+        pool = ProverPool()
+        ctx = Context()
+        pool.set_client("a")
+        pool.checker_for(ctx).check(*STRUCTURAL_PAIR)
+        pool.set_client("b")
+        pool.checker_for(ctx).check(*POLYHEDRAL_PAIR)
+        totals = pool.tier_totals()
+        assert totals["structural"] == 1 and totals["polyhedral"] == 1
+
+
+class TestTieredInjectivity:
+    def test_structural_injective(self):
+        pool = ProverPool()
+        pool.set_client("r")
+        assert pool.injective(Context(), L(0, (4, 4), (4, 1)))
+        assert pool.tiers["r"]["structural"] == 1
+
+    def test_non_injective_is_unknown(self):
+        pool = ProverPool()
+        pool.set_client("r")
+        # Stride 0: every index maps to the same address.
+        assert not pool.injective(Context(), L(0, (4, 0)))
+        assert pool.tiers["r"]["unknown"] == 1
+
+    def test_polyhedral_injectivity_fallback(self):
+        """Overlapping-looking strides (3, 2) over shapes (2, 2): the
+        addresses {0,2,3,5} are pairwise distinct, but the structural
+        span condition 3 > 1*2 fails... it holds; use (2, 3)x(3, 2):
+        strides sorted (2,3) spans -- pick a genuinely structural-hard
+        one: shape (2, 3), strides (3, 2) -> {0,2,4,3,5,7}: distinct."""
+        pool = ProverPool()
+        pool.set_client("r")
+        ctx = Context()
+        l = Lmad(
+            sym(0),
+            (LmadDim(sym(2), sym(3)), LmadDim(sym(3), sym(2))),
+        )
+        from repro.lmad.overlap import lmad_injective
+
+        if lmad_injective(l, pool.prover_for(ctx)):
+            pytest.skip("structural tier got stronger; pick a harder lmad")
+        assert pool.injective(ctx, l)
+        assert pool.tiers["r"]["polyhedral"] == 1
+
+
+class TestEngineSharing:
+    def test_checker_engine_is_pooled(self):
+        pool = ProverPool()
+        ctx = Context()
+        chk = pool.checker_for(ctx)
+        assert isinstance(chk, TieredChecker)
+        assert isinstance(chk.engine, PolyEngine)
+        assert pool.engine_for(ctx) is chk.engine
