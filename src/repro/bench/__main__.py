@@ -23,6 +23,8 @@ import warnings
 from pathlib import Path
 
 from repro.bench.harness import (
+    PERF_DATASETS,
+    QUICK_DATASETS,
     compile_both,
     measure_engine,
     measure_footprint,
@@ -53,30 +55,13 @@ TRAFFIC_BASELINE = Path("benchmarks") / "results" / "traffic_baseline.json"
 #: ``python -m repro.bench --write-prover-baseline``.
 PROVER_BASELINE = Path("benchmarks") / "results" / "prover_tier_baseline.json"
 
-#: Scaled-down datasets for --quick runs (same code paths, small sizes).
-QUICK_DATASETS = {
-    "nw": {"q64": (64, 16)},
-    "lud": {"q32": (32, 16)},
-    "hotspot": {"512": (512, 5)},
-    "lbm": {"short": (128, 10)},
-    "optionpricing": {"medium": (1024, 64)},
-    "locvolcalib": {"small": (8, 128, 32)},
-    "nn": {"855280": (855280,)},
-}
-
-#: Real-mode datasets for the executor-tier wall-clock comparison
-#: (``--json``).  Sized so the interpreted tier finishes in seconds while
-#: the vectorized engine's speedup is well past amortization -- these are
-#: the numbers the perf trajectory tracks across PRs.
-PERF_DATASETS = {
-    "nw": (16, 16),
-    "lud": (8, 8),
-    "hotspot": (24, 3),
-    "lbm": (16, 4),
-    "optionpricing": (128, 32),
-    "locvolcalib": (4, 16, 4),
-    "nn": (5000,),
-}
+#: Committed reference for the serving regression gate: CI fails when a
+#: benchmark's warm/cold amortization ratio reaches 0.25 (the acceptance
+#: bar: 100 warm calls must cost under a quarter of 100 cold
+#: compile+run calls) or its pool hit rate falls materially below the
+#: recorded value.  Regenerate with
+#: ``python -m repro.bench --write-serve-baseline``.
+SERVE_BASELINE = Path("benchmarks") / "results" / "serve_baseline.json"
 
 
 def _prover_tiers(opt) -> dict:
@@ -130,6 +115,16 @@ def main(argv=None) -> int:
                         help="record current deciding-tier tallies as the "
                              "regression baseline "
                              "(benchmarks/results/prover_tier_baseline.json)")
+    parser.add_argument("--write-serve-baseline", action="store_true",
+                        help="record current serving metrics as the "
+                             "regression baseline "
+                             "(benchmarks/results/serve_baseline.json)")
+    parser.add_argument("--serve-requests", type=int, default=100,
+                        metavar="N",
+                        help="warm requests per benchmark in the serve "
+                             "measurement (default 100)")
+    parser.add_argument("--serve-workers", type=int, default=4, metavar="N",
+                        help="concurrent serving workers (default 4)")
     args = parser.parse_args(argv)
 
     registry = all_benchmarks()
@@ -165,6 +160,10 @@ def main(argv=None) -> int:
     prover_baseline = {}
     if PROVER_BASELINE.exists():
         prover_baseline = json.loads(PROVER_BASELINE.read_text())
+    serve_failed = []
+    serve_baseline = {}
+    if SERVE_BASELINE.exists():
+        serve_baseline = json.loads(SERVE_BASELINE.read_text())
     results = {}
     for name in names:
         module = registry[name]
@@ -254,6 +253,39 @@ def main(argv=None) -> int:
                     and engine["footprint_equal"]):
                 tier_failed.append(name)
 
+        serve = None
+        if args.json or args.write_serve_baseline:
+            from repro.runtime.serve import measure_serve
+
+            serve = measure_serve(
+                module, PERF_DATASETS[name],
+                requests=args.serve_requests, workers=args.serve_workers,
+            )
+            print(f"serve: {serve['throughput_rps']:.0f} req/s "
+                  f"(p50 {serve['p50_ms']:.2f}ms / p99 "
+                  f"{serve['p99_ms']:.2f}ms, {serve['workers']} workers)  "
+                  f"warm/cold {serve['warm_cold_ratio']:.3f}  "
+                  f"pool hit rate {serve['pool_hit_rate']:.2f}  "
+                  f"cache {serve['cache_state']}")
+            if not serve["ok"]:
+                print(f"SERVE DIFFERENTIAL FAILED: {serve}", file=sys.stderr)
+                serve_failed.append(name)
+            elif serve["warm_cold_ratio"] >= 0.25:
+                print(f"SERVE AMORTIZATION REGRESSION: warm/cold "
+                      f"{serve['warm_cold_ratio']:.3f} >= 0.25 "
+                      f"(100 warm calls {serve['warm_100_s']:.2f}s vs "
+                      f"100 cold {serve['cold_100_s']:.2f}s)",
+                      file=sys.stderr)
+                serve_failed.append(name)
+            else:
+                rec = serve_baseline.get(name, {}).get("pool_hit_rate")
+                # 0.05 slack: hit rates depend on worker interleaving.
+                if rec is not None and serve["pool_hit_rate"] < rec - 0.05:
+                    print(f"SERVE POOL REGRESSION: hit rate "
+                          f"{serve['pool_hit_rate']:.2f} below baseline "
+                          f"{rec:.2f}", file=sys.stderr)
+                    serve_failed.append(name)
+
         results[name] = {
             "fusion": fusion,
             "footprint": footprint,
@@ -270,6 +302,7 @@ def main(argv=None) -> int:
                 for label, trace in report.traces.items()
             },
             "engine": engine,
+            "serve": serve,
             "rows": [
                 {
                     "device": r.device,
@@ -321,6 +354,23 @@ def main(argv=None) -> int:
         PROVER_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {PROVER_BASELINE}")
 
+    if args.write_serve_baseline:
+        SERVE_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            name: {
+                "dataset": results[name]["serve"]["dataset"],
+                "requests": results[name]["serve"]["requests"],
+                "workers": results[name]["serve"]["workers"],
+                "warm_cold_ratio": results[name]["serve"]["warm_cold_ratio"],
+                "pool_hit_rate": results[name]["serve"]["pool_hit_rate"],
+                "throughput_rps": results[name]["serve"]["throughput_rps"],
+            }
+            for name in results
+            if results[name]["serve"] is not None
+        }
+        SERVE_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {SERVE_BASELINE}")
+
     if args.json:
         ts = time.strftime("%Y%m%d-%H%M%S")
         out_dir = Path("benchmarks") / "results"
@@ -355,6 +405,10 @@ def main(argv=None) -> int:
         return 1
     if prover_failed:
         print(f"PROVER TIER REGRESSION: {', '.join(prover_failed)}",
+              file=sys.stderr)
+        return 1
+    if serve_failed:
+        print(f"SERVE REGRESSION: {', '.join(serve_failed)}",
               file=sys.stderr)
         return 1
     return 0

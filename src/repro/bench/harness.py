@@ -31,6 +31,32 @@ from repro.mem.exec import MemExecutor, RuntimeArray
 from repro.mem.stats import ExecStats
 from repro.reuse import estimate_peak
 
+#: Scaled-down datasets for --quick runs (same code paths, small sizes).
+QUICK_DATASETS = {
+    "nw": {"q64": (64, 16)},
+    "lud": {"q32": (32, 16)},
+    "hotspot": {"512": (512, 5)},
+    "lbm": {"short": (128, 10)},
+    "optionpricing": {"medium": (1024, 64)},
+    "locvolcalib": {"small": (8, 128, 32)},
+    "nn": {"855280": (855280,)},
+}
+
+#: Real-mode datasets for the executor-tier wall-clock comparison and the
+#: serving harness (``--json`` / ``python -m repro.serve``).  Sized so
+#: the interpreted tier finishes in seconds while the vectorized engine's
+#: speedup is well past amortization -- these are the numbers the perf
+#: trajectory tracks across PRs.
+PERF_DATASETS = {
+    "nw": (16, 16),
+    "lud": (8, 8),
+    "hotspot": (24, 3),
+    "lbm": (16, 4),
+    "optionpricing": (128, 32),
+    "locvolcalib": (4, 16, 4),
+    "nn": (5000,),
+}
+
 
 @dataclass
 class Row:

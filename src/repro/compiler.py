@@ -14,6 +14,9 @@ Mirrors the relevant slice of the Futhark pipeline the paper extends:
    coalescing plus the ``mem_frees`` lifetime annotations.
 
 :func:`compile_fun` is a thin, kwarg-compatible wrapper over
+:func:`repro.runtime.compile_cached` (the persistent program cache of
+:mod:`repro.runtime`: repeat compiles of structurally identical
+functions are O(lookup)), which itself drives
 :mod:`repro.pipeline`: the flags (or a named ``pipeline=`` preset --
 ``unopt``, ``sc``, ``sc+fuse``, ``full``) select an ordered pass list
 (:func:`repro.pipeline.build_pipeline`), and a
@@ -101,8 +104,18 @@ def compile_fun(
     fuse: bool = True,
     reuse: bool = True,
     pipeline: Optional[str] = None,
+    cache=None,
 ) -> CompiledFun:
-    """Run the full pipeline on a source function (which is not mutated).
+    """Compile a source function (which is not mutated), cached.
+
+    A thin wrapper over :func:`repro.runtime.compile_cached`: the
+    compilation is keyed by (program hash, resolved pipeline,
+    symbolic-shape class, assumptions, options) and repeat compiles of a
+    structurally identical function return the memoized ``CompiledFun``
+    in O(lookup).  ``cache=None`` follows the ``REPRO_PROGCACHE``
+    environment default (in-process LRU); ``cache=False`` forces a cold
+    compile; ``cache="disk"`` adds the persistent layer under
+    ``benchmarks/results/.progcache/``.
 
     ``pipeline`` selects a named preset (``unopt``, ``sc``, ``sc+fuse``,
     ``full``) and overrides the ``short_circuit``/``fuse``/``reuse``
@@ -122,27 +135,38 @@ def compile_fun(
     lifetime annotations; the differential tests compare against it to
     pin that reuse never changes outputs or traffic.
     """
-    from repro.pipeline import (
-        CompileContext,
-        PassManager,
-        PRESETS,
-        build_pipeline,
-        preset_for_flags,
+    from repro.runtime import compile_cached
+
+    return compile_cached(
+        fun,
+        short_circuit=short_circuit,
+        enable_splitting=enable_splitting,
+        typecheck=typecheck,
+        verify=verify,
+        fuse=fuse,
+        reuse=reuse,
+        pipeline=pipeline,
+        cache=cache,
     )
 
-    if pipeline is not None:
-        if pipeline not in PRESETS:
-            raise KeyError(
-                f"unknown pipeline preset {pipeline!r} "
-                f"(available: {', '.join(PRESETS)})"
-            )
-        flags = PRESETS[pipeline]
-        short_circuit = flags["short_circuit"]
-        fuse = flags["fuse"]
-        reuse = flags["reuse"]
-        label = pipeline
-    else:
-        label = preset_for_flags(short_circuit, fuse, reuse) or "custom"
+
+def _compile_uncached(
+    fun: A.Fun,
+    short_circuit: bool,
+    enable_splitting: bool,
+    typecheck: bool,
+    verify: bool,
+    fuse: bool,
+    reuse: bool,
+    label: str,
+) -> CompiledFun:
+    """One full pipeline run (no cache): the cold-compile primitive.
+
+    Flags arrive already resolved against any preset (see
+    :func:`repro.runtime.program._resolve_flags`); ``label`` is the
+    preset name or ``custom``.
+    """
+    from repro.pipeline import CompileContext, PassManager, build_pipeline
 
     ctx = CompileContext(
         source=fun, verify=verify, enable_splitting=enable_splitting

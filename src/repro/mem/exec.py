@@ -107,6 +107,9 @@ class MemExecutor:
         loop_sample: Optional[int] = None,
         debug: bool = False,
         vectorize: bool = True,
+        pool=None,
+        offs_cache: Optional[Dict[Tuple[str, IndexFn], np.ndarray]] = None,
+        vec_plans: Optional[Dict[int, bool]] = None,
     ):
         if mode not in ("real", "dry"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -165,8 +168,22 @@ class MemExecutor:
         self._local_mems: set = set()
         # Offset arrays depend only on the (fully concrete) index function,
         # so identical regions accessed across loop iterations share one
-        # array.  Callers never mutate the result.
-        self._offs_cache: Dict[Tuple[str, IndexFn], np.ndarray] = {}
+        # array.  Callers never mutate the result.  A Program serving the
+        # same compiled function many times passes a shared dict so the
+        # enumeration cost amortizes across calls (keys are deterministic:
+        # the per-run unique block names repeat run to run).
+        self._offs_cache: Dict[Tuple[str, IndexFn], np.ndarray] = (
+            offs_cache if offs_cache is not None else {}
+        )
+        #: Pooled-buffer lease (repro.runtime.pool.PoolLease): real-mode
+        #: allocations draw zero-filled buffers from it instead of paying
+        #: a fresh np.zeros per call.  The lease's lifetime is the
+        #: caller's concern -- buffers may be recycled once it closes, so
+        #: outputs must be materialized first.
+        self._pool = pool if mode == "real" else None
+        #: Shared vectorization-plan dict (id(stmt) -> expressible?),
+        #: again for cross-run amortization; None keeps a private one.
+        self._vec_plans = vec_plans
         self._vec_engine = None  # lazily built repro.mem.vectorize.VecEngine
         # Static fused-producer plans per outermost map statement (see
         # _fused_plan); the subtree never changes after compilation.
@@ -213,7 +230,18 @@ class MemExecutor:
                     and dim_expr == SymExpr.var(fv[0])
                 ):
                     env[fv[0]] = int(extent)
-            self.mem[mem] = arr.reshape(-1).copy()
+            if self._pool is not None:
+                # Input contents overwrite the whole buffer: skip the
+                # zero fill, count the pool round trip like an alloc.
+                buf, reused = self._pool.acquire(arr.size, t.dtype, zero=False)
+                np.copyto(buf, arr.reshape(-1))
+                self.mem[mem] = buf
+                if reused:
+                    self.stats.pool_hits += 1
+                else:
+                    self.stats.pool_misses += 1
+            else:
+                self.mem[mem] = arr.reshape(-1).copy()
             size = arr.size
             if self.debug:
                 self._shadow[mem] = np.ones(arr.size, dtype=bool)
@@ -242,6 +270,22 @@ class MemExecutor:
                 raise InterpError(f"index-function var {v!r} is not an int")
             subst[v] = val
         return ixfn.substitute(subst) if subst else ixfn
+
+    def _fresh_buffer(self, size: int, dtype: str) -> np.ndarray:
+        """A zero-filled flat buffer: pooled when leased, np.zeros else.
+
+        Pooled buffers are zero-filled on acquisition, so the two paths
+        are indistinguishable to the program -- the differential tests
+        pin outputs and traffic signatures bit-identical either way.
+        """
+        if self._pool is not None:
+            buf, reused = self._pool.acquire(size, dtype)
+            if reused:
+                self.stats.pool_hits += 1
+            else:
+                self.stats.pool_misses += 1
+            return buf
+        return np.zeros(size, dtype=DTYPE_INFO[dtype][0])
 
     def _resolve_mem(self, name: str, env: Mapping[str, object]) -> str:
         seen = set()
@@ -473,7 +517,7 @@ class MemExecutor:
             self._alloc_counter += 1
             unique = f"{name}@{self._alloc_counter}"
             if self.mode == "real":
-                self.mem[unique] = np.zeros(size, dtype=DTYPE_INFO[exp.dtype][0])
+                self.mem[unique] = self._fresh_buffer(size, exp.dtype)
                 if self.debug:
                     self._shadow[unique] = np.zeros(size, dtype=bool)
             else:
@@ -783,7 +827,9 @@ class MemExecutor:
                     if self._vec_engine is None:
                         from repro.mem.vectorize import VecEngine
 
-                        self._vec_engine = VecEngine(self)
+                        self._vec_engine = VecEngine(
+                            self, plans=self._vec_plans
+                        )
                     ran_vec = self._vec_engine.try_run_map(
                         stmt, exp, env, width, dests
                     )

@@ -77,6 +77,20 @@ class ExecStats:
     #: assert the traffic strictly decreases instead.
     fused_kernels: int = 0
     bytes_elided_fusion: int = 0
+    #: Runtime buffer-pool counters (:mod:`repro.runtime.pool`): how many
+    #: allocations this run served from reused pooled buffers vs fresh
+    #: ``np.zeros``.  Like the execution-tier counters, these describe
+    #: *how* memory was obtained, not *what* the program simulated, so
+    #: they are excluded from :meth:`signature` and from
+    #: :meth:`merge_scaled`.
+    pool_hits: int = 0
+    pool_misses: int = 0
+    #: Compile-once/serve-many timing pair, stamped by
+    #: :meth:`repro.runtime.Program.run`: the original (uncached) compile
+    #: wall clock this call amortizes, and this call's own wall clock.
+    #: Pure bookkeeping -- excluded from :meth:`signature`.
+    cold_compile_seconds: float = 0.0
+    warm_call_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     def kernel(self, site: int, kind: str, label: str) -> KernelStat:
@@ -130,6 +144,13 @@ class ExecStats:
     @property
     def launches(self) -> int:
         return sum(k.launches for k in self.kernels.values())
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of buffer acquisitions served by the pool's free
+        lists.  0.0 when nothing was pooled (no lease, or dry mode)."""
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else 0.0
 
     @property
     def vec_hit_rate(self) -> float:
@@ -191,4 +212,10 @@ class ExecStats:
             f"({self.bytes_elided_fusion:,} bytes elided)",
             f"allocations     : {self.alloc_count} ({self.alloc_bytes:,} bytes)",
         ]
+        if self.pool_hits or self.pool_misses:
+            lines.append(
+                f"pooled buffers  : {self.pool_hits} reused / "
+                f"{self.pool_misses} fresh "
+                f"(hit rate {self.pool_hit_rate:.2f})"
+            )
         return "\n".join(lines)

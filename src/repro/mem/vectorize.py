@@ -88,10 +88,12 @@ class VArr:
 class VecEngine:
     """Per-executor vectorization planner and runner."""
 
-    def __init__(self, ex: MemExecutor):
+    def __init__(self, ex: MemExecutor, plans: Optional[Dict[int, bool]] = None):
         self.ex = ex
-        #: id(map stmt) -> is the body expressible?  (Static, so cached.)
-        self._plans: Dict[int, bool] = {}
+        #: id(map stmt) -> is the body expressible?  (Static, so cached;
+        #: a Program passes a shared dict so the taint analysis runs once
+        #: per compiled function, not once per serving call.)
+        self._plans: Dict[int, bool] = plans if plans is not None else {}
 
     # ------------------------------------------------------------------
     # Entry point (called from MemExecutor._exec_map, real mode only)

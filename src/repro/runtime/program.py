@@ -1,0 +1,365 @@
+"""The compile-once, serve-many handle: :class:`Program`.
+
+A :class:`Program` freezes everything a compilation produced that is
+reusable across executions:
+
+* the **post-pipeline memory IR** (the ``CompiledFun``);
+* the **vectorized dispatch plan** -- the per-statement taint-analysis
+  verdicts of :class:`repro.mem.vectorize.VecEngine`, computed once and
+  shared by every subsequent run's engine;
+* the **offset cache** -- enumerated LMAD offsets per concrete index
+  function, the dominant warm-run cost after buffer allocation;
+* the **coalesced allocation plan**, materialized per shape class into a
+  :class:`~repro.runtime.pool.BufferPool` whose buffers are reused
+  across calls instead of re-allocated with ``np.zeros``.
+
+Each :meth:`Program.run` builds a fresh :class:`~repro.mem.exec.
+MemExecutor` (executors are cheap, single-use state machines) wired to a
+private pool lease, so concurrent workers serving the same program never
+share mutable executor state; the shared structures (pool free lists,
+offset cache, dispatch plans) are either lock-protected or grow-only.
+
+Outputs are materialized into caller-owned NumPy arrays before the lease
+closes -- a served response never aliases pool memory.
+
+Because the source language is pure, a compiled program is a
+referentially transparent function of its inputs: same bytes in, same
+bytes out, same simulated cost.  :class:`Program` therefore keeps a
+small **response memo** (bounded LRU keyed by the content hash of the
+request) and serves repeated identical requests from it -- the
+serve-many analogue of common-subexpression elimination, and the reason
+warm serving throughput is decoupled from the simulator's per-run
+interpretation cost.  Every memoized response was produced by a real
+pooled execution; hits return fresh copies of its outputs and
+:class:`ExecStats` (so callers may mutate freely), restamped with this
+call's wall clock.  Pass ``memoize=False`` (per call or per program) to
+force execution -- the differential tests do, since they exist to
+exercise the pooled executor itself.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.ir import ast as A
+from repro.mem.exec import MemExecutor, RuntimeArray
+from repro.mem.stats import ExecStats
+from repro.runtime.cache import (
+    COLD,
+    cache_mode,
+    make_key,
+    program_cache,
+)
+from repro.runtime.pool import BufferPool
+
+
+def _resolve_flags(
+    pipeline: Optional[str],
+    short_circuit: bool,
+    fuse: bool,
+    reuse: bool,
+) -> Tuple[bool, bool, bool, str]:
+    """Preset/flag resolution shared with :func:`repro.compiler.compile_fun`."""
+    from repro.pipeline import PRESETS, preset_for_flags
+
+    if pipeline is not None:
+        if pipeline not in PRESETS:
+            raise KeyError(
+                f"unknown pipeline preset {pipeline!r} "
+                f"(available: {', '.join(PRESETS)})"
+            )
+        flags = PRESETS[pipeline]
+        return flags["short_circuit"], flags["fuse"], flags["reuse"], pipeline
+    label = preset_for_flags(short_circuit, fuse, reuse) or "custom"
+    return short_circuit, fuse, reuse, label
+
+
+def compile_cached(
+    fun: A.Fun,
+    short_circuit: bool = True,
+    enable_splitting: bool = True,
+    typecheck: bool = True,
+    verify: bool = False,
+    fuse: bool = True,
+    reuse: bool = True,
+    pipeline: Optional[str] = None,
+    cache=None,
+    _want_state: bool = False,
+):
+    """Cache-aware compilation returning a plain ``CompiledFun``.
+
+    This is what :func:`repro.compiler.compile_fun` delegates to.  The
+    cache key includes the program hash, resolved pipeline, shape class,
+    *and the function's assumptions* -- see :mod:`repro.runtime.cache`.
+    ``cache=None`` follows the ``REPRO_PROGCACHE`` environment default
+    (in-process memoization); ``cache=False`` forces a cold compile;
+    ``cache="disk"`` adds the persistent on-disk layer.
+    """
+    from repro.compiler import _compile_uncached
+
+    short_circuit, fuse, reuse, label = _resolve_flags(
+        pipeline, short_circuit, fuse, reuse
+    )
+
+    def thunk():
+        return _compile_uncached(
+            fun,
+            short_circuit=short_circuit,
+            enable_splitting=enable_splitting,
+            typecheck=typecheck,
+            verify=verify,
+            fuse=fuse,
+            reuse=reuse,
+            label=label,
+        )
+
+    mode = cache_mode(cache)
+    if mode == "off":
+        compiled = thunk()
+        state, cold_seconds = COLD, compiled.compile_seconds
+    else:
+        key = make_key(
+            fun, label, short_circuit, fuse, reuse,
+            enable_splitting, typecheck, verify,
+        )
+        compiled, state, cold_seconds = program_cache().get_or_compile(
+            key, thunk, disk=(mode == "disk")
+        )
+    if _want_state:
+        return compiled, state, cold_seconds
+    return compiled
+
+
+class Program:
+    """A compiled function plus its reusable runtime state."""
+
+    #: Bounded response-memo size (distinct request contents retained).
+    MEMO_ENTRIES = 32
+
+    def __init__(self, compiled, cache_state: str = COLD,
+                 cold_compile_seconds: Optional[float] = None,
+                 memoize: bool = True):
+        self.compiled = compiled
+        #: How this program's compilation was obtained ("cold" /
+        #: "memory" / "disk").
+        self.cache_state = cache_state
+        #: Wall clock of the original (uncached) compilation -- the cost
+        #: a warm call amortizes.
+        self.cold_compile_seconds = (
+            compiled.compile_seconds
+            if cold_compile_seconds is None
+            else cold_compile_seconds
+        )
+        #: Shared allocation-plan pool (lock-protected; leased per run).
+        self.pool = BufferPool()
+        #: Shared per-(mem, ixfn) offset arrays (grow-only, read-only
+        #: values; see MemExecutor._offsets).
+        self._offs_cache: Dict = {}
+        #: Shared vectorization plans (id(stmt) -> expressible?).
+        self._vec_plans: Dict[int, bool] = {}
+        #: Serve repeated identical requests from prior responses
+        #: (sound: the language is pure).  Overridable per call.
+        self.memoize = memoize
+        self._memo: "OrderedDict[tuple, Tuple[List[object], ExecStats]]" = (
+            OrderedDict()
+        )
+        #: Single-flight request coalescing: request key -> the Event
+        #: concurrent duplicate requests wait on while one worker
+        #: produces the response (prevents a thundering herd of
+        #: identical production runs on a cold memo).
+        self._inflight: Dict[tuple, threading.Event] = {}
+        self.memo_hits = 0
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def fun(self) -> A.Fun:
+        return self.compiled.fun
+
+    @property
+    def pipeline(self) -> str:
+        return self.compiled.pipeline
+
+    def shape_key(self, inputs: Mapping[str, object]) -> str:
+        """The concrete shape class of one request's inputs."""
+        parts = []
+        for name in sorted(inputs):
+            v = inputs[name]
+            shape = getattr(v, "shape", None)
+            parts.append(
+                f"{name}:{shape}" if shape is not None else f"{name}={v!r}"
+            )
+        return "|".join(parts)
+
+    def _request_key(
+        self, inputs: Mapping[str, object], vectorize: bool
+    ) -> tuple:
+        """Content identity of one request (exact: hashes array bytes)."""
+        h = hashlib.sha256()
+        for name in sorted(inputs):
+            v = inputs[name]
+            h.update(name.encode())
+            if isinstance(v, np.ndarray):
+                h.update(str(v.shape).encode())
+                h.update(v.dtype.str.encode())
+                h.update(np.ascontiguousarray(v).tobytes())
+            else:
+                h.update(repr(v).encode())
+        return (h.hexdigest(), vectorize)
+
+    @staticmethod
+    def _fresh_response(
+        entry: Tuple[List[object], ExecStats],
+    ) -> Tuple[List[object], ExecStats]:
+        outs, stats = entry
+        return (
+            [o.copy() if isinstance(o, np.ndarray) else o for o in outs],
+            copy.deepcopy(stats),
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        inputs: Mapping[str, object],
+        vectorize: bool = True,
+        memoize: Optional[bool] = None,
+    ) -> Tuple[List[object], ExecStats]:
+        """Execute (or recall) one request against pooled buffers.
+
+        Inputs are read, never mutated (the executor copies array
+        parameters into leased buffers).  Outputs are materialized NumPy
+        arrays/scalars owned by the caller.  The returned
+        :class:`ExecStats` carries ``pool_hits``/``pool_misses`` and the
+        warm/cold timing pair; on a response-memo hit it is a copy of
+        the producing run's stats (signature-identical by construction)
+        restamped with this call's wall clock.
+        """
+        t0 = time.perf_counter()
+        use_memo = self.memoize if memoize is None else memoize
+        key = self._request_key(inputs, vectorize) if use_memo else None
+        leader = False
+        while key is not None:
+            with self._lock:
+                entry = self._memo.get(key)
+                if entry is not None:
+                    self._memo.move_to_end(key)
+                    self.memo_hits += 1
+                    self.calls += 1
+                    outs, stats = self._fresh_response(entry)
+                    # A recalled response acquired no buffers.
+                    stats.pool_hits = stats.pool_misses = 0
+                    stats.warm_call_seconds = time.perf_counter() - t0
+                    stats.cold_compile_seconds = self.cold_compile_seconds
+                    return outs, stats
+                ev = self._inflight.get(key)
+                if ev is None:
+                    # This call produces the response; duplicates wait.
+                    self._inflight[key] = threading.Event()
+                    leader = True
+            if leader:
+                break
+            ev.wait()
+            # The leader finished (or failed): re-check the memo; on a
+            # store the loop returns the recalled response, otherwise
+            # this call becomes the next leader and executes itself.
+        try:
+            outs, stats = self._execute(inputs, vectorize)
+        finally:
+            if leader:
+                with self._lock:
+                    ev = self._inflight.pop(key, None)
+                if ev is not None:
+                    ev.set()
+        if key is not None:
+            with self._lock:
+                if key not in self._memo:
+                    self._memo[key] = self._fresh_response((outs, stats))
+                    while len(self._memo) > self.MEMO_ENTRIES:
+                        self._memo.popitem(last=False)
+        stats.warm_call_seconds = time.perf_counter() - t0
+        stats.cold_compile_seconds = self.cold_compile_seconds
+        with self._lock:
+            self.calls += 1
+        return outs, stats
+
+    def _execute(
+        self, inputs: Mapping[str, object], vectorize: bool
+    ) -> Tuple[List[object], ExecStats]:
+        """One real pooled execution (the memo's production path)."""
+        with self.pool.lease() as lease:
+            ex = MemExecutor(
+                self.compiled.fun,
+                pool=lease,
+                offs_cache=self._offs_cache,
+                vec_plans=self._vec_plans,
+                vectorize=vectorize,
+            )
+            vals, stats = ex.run(**dict(inputs))
+            outs = [self._materialize(ex, v) for v in vals]
+            skey = self.shape_key(inputs)
+            if self.pool.plan(skey) is None:
+                # First execution at this shape class: freeze the
+                # allocation plan so the pool can be provisioned for a
+                # worker fleet (reserve) and hits become deterministic.
+                self.pool.note_plan(skey, lease.manifest())
+        return outs, stats
+
+    def reserve(self, inputs: Mapping[str, object], workers: int) -> int:
+        """Provision the pool for ``workers`` concurrent leases of the
+        allocation plan at this input shape class (runs one request to
+        materialize the plan -- and warm the response memo -- if
+        needed)."""
+        skey = self.shape_key(inputs)
+        need = self.pool.plan(skey) is None
+        if not need and self.memoize:
+            key = self._request_key(inputs, True)
+            with self._lock:
+                need = key not in self._memo
+        if need:
+            self.run(inputs)
+        return self.pool.reserve(skey, workers)
+
+    @staticmethod
+    def _materialize(ex: MemExecutor, val):
+        if isinstance(val, RuntimeArray):
+            buf = ex.mem[val.mem]
+            assert isinstance(buf, np.ndarray)
+            return buf[ex._offsets(val)]
+        return val
+
+
+def compile(
+    fun: A.Fun,
+    pipeline: Optional[str] = None,
+    short_circuit: bool = True,
+    enable_splitting: bool = True,
+    typecheck: bool = True,
+    verify: bool = False,
+    fuse: bool = True,
+    reuse: bool = True,
+    cache=None,
+    memoize: bool = True,
+) -> Program:
+    """Compile (or fetch from cache) and wrap into a :class:`Program`."""
+    compiled, state, cold_seconds = compile_cached(
+        fun,
+        short_circuit=short_circuit,
+        enable_splitting=enable_splitting,
+        typecheck=typecheck,
+        verify=verify,
+        fuse=fuse,
+        reuse=reuse,
+        pipeline=pipeline,
+        cache=cache,
+        _want_state=True,
+    )
+    return Program(compiled, cache_state=state,
+                   cold_compile_seconds=cold_seconds, memoize=memoize)

@@ -1,0 +1,34 @@
+"""The serve regression baseline stays in sync with the harness."""
+
+import json
+from pathlib import Path
+
+from repro.bench.__main__ import SERVE_BASELINE
+from repro.bench.programs import all_benchmarks
+
+BASELINE = Path(__file__).resolve().parents[2] / SERVE_BASELINE
+
+
+def test_baseline_file_has_all_benchmarks():
+    recorded = json.loads(BASELINE.read_text())
+    assert set(recorded) == set(all_benchmarks())
+    for row in recorded.values():
+        assert {
+            "dataset",
+            "requests",
+            "workers",
+            "warm_cold_ratio",
+            "pool_hit_rate",
+            "throughput_rps",
+        } <= set(row)
+
+
+def test_baseline_meets_the_acceptance_bar():
+    """The committed numbers must themselves satisfy the gate the bench
+    harness enforces: 100 warm calls under 25% of 100 cold ones."""
+    recorded = json.loads(BASELINE.read_text())
+    for name, row in recorded.items():
+        assert row["requests"] == 100, name
+        assert row["warm_cold_ratio"] < 0.25, (name, row)
+        assert row["throughput_rps"] > 0, name
+        assert 0.0 <= row["pool_hit_rate"] <= 1.0, name

@@ -1,0 +1,19 @@
+"""Shared fixtures: isolate every test from the persistent program cache.
+
+``compile_fun`` is cache-hitting (:mod:`repro.runtime`), and several
+tests rely on compilations actually *running* -- monkeypatched pass
+seams, ``REPRO_PRINT_AFTER`` side effects, verification-failure
+injection.  Clearing the in-process cache before each test keeps those
+observable; the cache's own behavior is tested explicitly in
+``tests/runtime``.
+"""
+
+import pytest
+
+from repro.runtime import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def _fresh_program_cache():
+    clear_caches()
+    yield

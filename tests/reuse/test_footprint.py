@@ -90,7 +90,9 @@ def test_frees_are_deletable_annotations():
     inp = module.inputs_for(*args)
 
     annotated = compile_fun(module.build(), short_circuit=False)
-    stripped = compile_fun(module.build(), short_circuit=False)
+    # cache=False: this compile's IR is mutated below, and the program
+    # cache would otherwise hand back the same (shared) CompiledFun.
+    stripped = compile_fun(module.build(), short_circuit=False, cache=False)
     for s in iter_stmts(stripped.fun.body):
         s.mem_frees = ()
 
