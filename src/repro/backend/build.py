@@ -1,0 +1,176 @@
+"""Compile emitted C kernels into cached shared objects.
+
+The cache key is the SHA-256 of the *generated C source* (which is
+itself a pure function of the post-pipeline memory IR, the launch
+structure, and the element dtypes), the C compiler's version banner,
+and the ABI version -- so a toolchain upgrade or an ABI change cold-
+rebuilds instead of loading stale objects.  Artifacts live next to the
+program cache under ``benchmarks/results/.nativecache/`` (override with
+``REPRO_NATIVE_CACHE``); writes are atomic (temp file + ``os.replace``)
+so concurrent builders never observe a torn ``.so``, and a cache entry
+that fails to load (truncated, wrong architecture, hand-edited) is
+unlinked and rebuilt cold -- mirroring the program cache's corruption
+semantics.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.backend.cemit import ABI_VERSION
+
+#: Flags chosen for bit-identity with NumPy: no fast-math, and FP
+#: contraction off -- a fused multiply-add changes f32 rounding versus
+#: the interpreter's separate multiply and add.
+CC_FLAGS = ["-O2", "-shared", "-fPIC", "-ffp-contract=off"]
+
+_CACHE_ENV = "REPRO_NATIVE_CACHE"
+_DEFAULT_DIR = Path("benchmarks") / "results" / ".nativecache"
+
+
+class BuildError(RuntimeError):
+    """The C compiler failed (or is absent)."""
+
+
+# -- toolchain detection ------------------------------------------------
+_cc_info: Optional[Tuple[Optional[str], str]] = None
+_warned = False
+
+
+def find_cc() -> Tuple[Optional[str], str]:
+    """Locate a C compiler and its version fingerprint (cached).
+
+    Honors ``REPRO_CC``; otherwise tries ``cc``, ``gcc``, ``clang``.
+    Returns ``(None, "")`` when no working compiler is found.
+    """
+    global _cc_info
+    if _cc_info is not None:
+        return _cc_info
+    candidates = []
+    env = os.environ.get("REPRO_CC")
+    if env:
+        candidates.append(env)
+    candidates += ["cc", "gcc", "clang"]
+    for cand in candidates:
+        path = shutil.which(cand)
+        if path is None:
+            continue
+        try:
+            out = subprocess.run(
+                [path, "--version"], capture_output=True, text=True,
+                timeout=30,
+            )
+        except OSError:
+            continue
+        if out.returncode == 0:
+            banner = (out.stdout or out.stderr).splitlines()
+            _cc_info = (path, banner[0] if banner else "")
+            return _cc_info
+    _cc_info = (None, "")
+    return _cc_info
+
+
+def warn_unavailable_once() -> None:
+    """One-line stderr notice the first time native execution is wanted
+    but no C compiler exists; all later requests degrade silently."""
+    global _warned
+    if not _warned:
+        _warned = True
+        print(
+            "repro: no C compiler found (cc/gcc/clang); "
+            "native tier disabled, falling back to vectorized",
+            file=sys.stderr,
+        )
+
+
+def cache_dir() -> Path:
+    return Path(os.environ.get(_CACHE_ENV) or _DEFAULT_DIR)
+
+
+def source_digest(source: str) -> str:
+    _, fingerprint = find_cc()
+    h = hashlib.sha256()
+    h.update(f"abi={ABI_VERSION}\ncc={fingerprint}\n".encode())
+    h.update(source.encode())
+    return h.hexdigest()
+
+
+# -- compilation --------------------------------------------------------
+#: In-process library memo: digest -> (CDLL, entry point).  The CDLL
+#: reference keeps the object mapped; entries survive for the process
+#: lifetime (kernels are tiny).
+_memo: Dict[str, Tuple[ctypes.CDLL, object]] = {}
+
+
+def clear_memo() -> None:
+    _memo.clear()
+
+
+def _atomic_write(path: Path, data: str) -> None:
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(data)
+    os.replace(tmp, path)
+
+
+def _load(so: Path):
+    lib = ctypes.CDLL(str(so), mode=ctypes.RTLD_LOCAL)
+    fn = lib.repro_kernel
+    fn.argtypes = [
+        ctypes.c_longlong,
+        ctypes.POINTER(ctypes.c_longlong),
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_void_p),
+        ctypes.POINTER(ctypes.c_longlong),
+    ]
+    fn.restype = None
+    return lib, fn
+
+
+def compile_kernel(source: str):
+    """Return the native entry point for ``source``, building at most
+    once per (source, toolchain, ABI) across processes."""
+    cc, _ = find_cc()
+    if cc is None:
+        raise BuildError("no C compiler available")
+    digest = source_digest(source)
+    hit = _memo.get(digest)
+    if hit is not None:
+        return hit[1], digest
+    d = cache_dir()
+    d.mkdir(parents=True, exist_ok=True)
+    so = d / f"{digest}.so"
+    csrc = d / f"{digest}.c"
+    lib_fn = None
+    if so.exists():
+        try:
+            lib_fn = _load(so)
+        except OSError:
+            # Corrupt/stale entry: degrade to a cold rebuild.
+            try:
+                so.unlink()
+            except OSError:
+                pass
+    if lib_fn is None:
+        _atomic_write(csrc, source)
+        tmp = d / f".{digest}.{os.getpid()}.so"
+        cmd = [cc, *CC_FLAGS, "-o", str(tmp), str(csrc), "-lm"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise BuildError(
+                f"cc failed ({proc.returncode}): {proc.stderr.strip()}"
+            )
+        os.replace(tmp, so)
+        lib_fn = _load(so)
+    _memo[digest] = lib_fn
+    return lib_fn[1], digest

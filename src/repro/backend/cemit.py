@@ -1,0 +1,1207 @@
+"""Flat-loop C emission from post-pipeline memory IR (the native tier).
+
+One outermost ``map`` statement becomes one C function: the thread space
+is an explicit ``for`` loop, LMAD index functions become inline affine
+address arithmetic, and a fused kernel -- whose producer statements are
+ordinary scalar statements of the consumer's body -- lowers to a
+genuinely single-loop body.  The emitter mirrors the *interpreted*
+executor statement by statement, in both value semantics and accounting:
+
+* **values** -- scalar C types and promotions replicate
+  ``Interpreter._binop``/``_unop`` under NumPy's value-based (NEP 50)
+  promotion, including the weak/strong distinction between per-thread
+  Python ints and typed array elements; ``//``/``%`` use floor-division
+  helpers (C truncates, Python floors); ``sqrt`` maps to the
+  correctly-rounded ``sqrtf``/``sqrt``.  Constructs whose libm result
+  can drift from NumPy's (``exp``/``log``/``pow``) are rejected.
+* **accounting** -- every simulated counter the interpreter would bump
+  (per-kernel bytes/flops, copy elisions, allocation counts) accumulates
+  in a flat ``C`` array of per-site counter slots that the engine folds
+  back into :class:`~repro.mem.stats.ExecStats` after the call, so the
+  native tier is ``signature()``-identical to the other tiers.
+
+Emission is *launch-specialized but shape-generic*: it happens on the
+first launch of a statement (when the runtime environment reveals each
+free array's index-function structure and each free scalar's kind) and
+the resulting function is reused for every later launch, receiving
+widths, scalars and LMAD components as arguments.  Any construct outside
+the supported set raises :class:`Reject`, and the statement permanently
+falls back to the vectorized/interpreted tiers -- dispatch stays
+per-statement, exactly like the vectorized planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.symbolic import SymExpr
+
+from repro.ir import ast as A
+from repro.ir.ast import Fun  # noqa: F401  (re-exported for annotations)
+from repro.ir.types import ArrayType, DTYPE_INFO
+from repro.mem.memir import binding_of
+
+#: Counter slots per site: [entered, bytes_read, bytes_written, flops,
+#: elided_copies, elided_bytes].
+SLOTS = 6
+
+#: Bump when the emitted ABI or counter layout changes (part of the
+#: on-disk cache key).
+ABI_VERSION = 1
+
+_CTYPE = {"i64": "long long", "f32": "float", "f64": "double", "bool": "char"}
+
+#: NEP-50 promotion over this IR's four dtypes (strong operands).
+_PROMOTE = {
+    ("i64", "i64"): "i64",
+    ("i64", "f32"): "f64",  # int64 cannot promote into float32
+    ("i64", "f64"): "f64",
+    ("f32", "f32"): "f32",
+    ("f32", "f64"): "f64",
+    ("f64", "f64"): "f64",
+    ("bool", "bool"): "bool",
+    ("bool", "i64"): "i64",
+    ("bool", "f32"): "f32",
+    ("bool", "f64"): "f64",
+}
+
+
+class Reject(Exception):
+    """The statement is not expressible in the native tier."""
+
+
+@dataclass
+class SVal:
+    """A scalar value: a C expression plus its interpreter-side type.
+
+    ``weak`` distinguishes Python ints/floats (NEP-50 weak scalars, which
+    adopt the other operand's precision) from typed NumPy scalars.
+    ``mutable`` marks loop-carried C locals, whose value at view-creation
+    time must be *captured* rather than referenced (the interpreter
+    instantiates index functions at binding time).
+    """
+
+    c: str
+    dtype: str
+    weak: bool = False
+    mutable: bool = False
+    scope: int = 0
+
+
+@dataclass
+class CLmad:
+    """One LMAD with C-expression components (element units)."""
+
+    offset: str
+    dims: List[Tuple[str, str]]  # (shape, stride)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+
+@dataclass
+class MemObj:
+    """A memory block at emission time: buffer slot + element base.
+
+    ``base`` emulates the interpreter's per-execution *unique* blocks for
+    in-kernel allocations: each (thread, enclosing-iteration) tuple gets
+    a disjoint slot of one flat per-launch buffer, so two views alias
+    exactly when their (buffer, base) pairs coincide -- the same identity
+    the interpreter's unique block names express.
+    """
+
+    buf: int
+    base: str = "0"
+    scope: int = 0
+
+    def same(self, other: "MemObj") -> bool:
+        return self.buf == other.buf and self.base == other.base
+
+
+@dataclass
+class CArr:
+    """An array view: memory object + C-expression index function."""
+
+    mem: MemObj
+    dtype: str
+    lmads: List[CLmad]
+    scope: int = 0
+
+    @property
+    def itemsize(self) -> int:
+        return DTYPE_INFO[self.dtype][1]
+
+    @property
+    def inner(self) -> CLmad:
+        return self.lmads[-1]
+
+
+@dataclass
+class KernelSpec:
+    """Everything the engine needs to launch one compiled kernel."""
+
+    source: str
+    #: Ordered int-argument directives; see _Emitter._int_arg for kinds.
+    int_dirs: List[tuple]
+    #: Ordered float-argument directives.
+    flt_dirs: List[tuple]
+    #: Ordered buffer directives ("arr" | "mem" | "alloc").
+    buf_dirs: List[tuple]
+    #: Per in-kernel-alloc site: (static name, size expr, enclosing
+    #: count exprs, dtype).
+    alloc_sites: List[tuple]
+    #: Per counter-site: (stmt, kind, label); site 0 is the launch.
+    sites: List[tuple]
+    fn: object = None  # ctypes function, attached by the builder
+    digest: str = ""
+
+
+# ----------------------------------------------------------------------
+def _c_int(v: int) -> str:
+    return f"({v}LL)"
+
+
+def _c_lit(value, dtype: str) -> str:
+    if dtype == "i64":
+        return _c_int(int(value))
+    if dtype == "bool":
+        return "1" if value else "0"
+    if dtype == "f32":
+        d = float(np.float32(value))
+        if not np.isfinite(d):
+            raise Reject("non-finite literal")
+        return f"((float){d!r})"
+    d = float(value)
+    if not np.isfinite(d):
+        raise Reject("non-finite literal")
+    return f"({d!r})"
+
+
+def _is_weak_int(v) -> bool:
+    return isinstance(v, (bool, int)) and not isinstance(v, np.generic)
+
+
+class _Emitter:
+    """One kernel emission (first launch of one outermost map)."""
+
+    def __init__(self, ex, env):
+        self.ex = ex
+        self.env = env  # host environment at the launch site
+        self.lines: List[str] = []
+        self.indent = 1
+        self.tmp = 0
+        self.int_dirs: List[tuple] = []
+        self.flt_dirs: List[tuple] = []
+        self.buf_dirs: List[tuple] = []
+        self.alloc_sites: List[tuple] = []
+        self.sites: List[tuple] = []
+        self._int_slots: Dict[tuple, object] = {}
+        #: Expanded width of ``ia`` so far (an "arrcomp" directive
+        #: expands to 1 + 2*rank integers per LMAD).
+        self._int_width = 0
+        self._flt_slots: Dict[tuple, int] = {}
+        self._buf_slots: Dict[tuple, int] = {}
+        self._site_ids: Dict[int, int] = {}
+        #: Stack of open lexical scopes (ids); values created in a scope
+        #: are usable only while it is open.
+        self._scopes: List[int] = [0]
+        self._scope_seq = 0
+        #: Per-open-block pending constant counter increments,
+        #: (site, slot) -> int, flushed when the block closes.
+        self._pending: List[Dict[Tuple[int, int], int]] = [{}]
+        #: Enclosing (count expr C string, index var) pairs for in-kernel
+        #: allocations (thread loop, sequential loops, nested maps);
+        #: None marks a level (If) under which allocation is rejected.
+        self._alloc_path: List[Optional[Tuple[str, str, SymExpr]]] = []
+
+    # -- C text helpers -------------------------------------------------
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def fresh(self, prefix: str = "v") -> str:
+        self.tmp += 1
+        return f"{prefix}{self.tmp}"
+
+    def open_block(self, header: str) -> None:
+        self.emit(header + " {")
+        self.indent += 1
+        self._scope_seq += 1
+        self._scopes.append(self._scope_seq)
+        self._pending.append({})
+
+    def close_block(self) -> None:
+        self._flush_pending()
+        self._scopes.pop()
+        self.indent -= 1
+        self.emit("}")
+
+    def _flush_pending(self) -> None:
+        pend = self._pending.pop()
+        for (site, slot), n in sorted(pend.items()):
+            if n:
+                self.emit(f"C[{site * SLOTS + slot}] += {_c_int(n)};")
+
+    def pend(self, site: int, slot: int, n: int = 1) -> None:
+        key = (site, slot)
+        self._pending[-1][key] = self._pending[-1].get(key, 0) + n
+
+    def charge(self, site: int, slot: int, expr: str) -> None:
+        self.emit(f"C[{site * SLOTS + slot}] += {expr};")
+
+    def check_scope(self, *ids: int) -> None:
+        for s in ids:
+            if s not in self._scopes:
+                raise Reject("value escapes its C scope")
+
+    @property
+    def cur_scope(self) -> int:
+        return self._scopes[-1]
+
+    # -- argument slots -------------------------------------------------
+    def _host_launch_int(self, expr: SymExpr) -> str:
+        """A host-evaluable symbolic int as an ia[] argument expression."""
+        for v in expr.free_vars():
+            if v not in self.env:
+                raise Reject(f"free var {v!r} not launch-evaluable")
+        c = expr.as_int()
+        if c is not None:
+            return _c_int(c)
+        key = ("sym", expr)
+        slot = self._int_slots.get(key)
+        if slot is None:
+            slot = self._int_width
+            self._int_width += 1
+            self.int_dirs.append(("sym", expr))
+            self._int_slots[key] = slot
+        return f"ia[{slot}]"
+
+    def _host_scalar(self, name: str) -> SVal:
+        """A free host scalar as an argument-backed SVal."""
+        if name not in self.env:
+            raise Reject(f"unbound variable {name!r}")
+        v = self.env[name]
+        if isinstance(v, (bool, np.bool_)):
+            weak = type(v) is bool
+            kind, dtype = ("pybool" if weak else "npbool"), "bool"
+        elif isinstance(v, (int, np.integer)):
+            kind = "pyint" if _is_weak_int(v) else "npint"
+            dtype, weak = "i64", kind == "pyint"
+        elif isinstance(v, np.float32):
+            kind, dtype, weak = "f32", "f32", False
+        elif isinstance(v, (float, np.floating)):
+            kind = "pyfloat" if isinstance(v, float) else "f64"
+            dtype, weak = "f64", isinstance(v, float)
+        else:
+            raise Reject(f"unsupported free value for {name!r}")
+        if dtype in ("i64", "bool"):
+            key = ("env", name)
+            slot = self._int_slots.get(key)
+            if slot is None:
+                slot = self._int_width
+                self._int_width += 1
+                self.int_dirs.append(("env", name, kind))
+                self._int_slots[key] = slot
+            c = f"ia[{slot}]" if dtype == "i64" else f"((char)ia[{slot}])"
+        else:
+            key = ("fenv", name)
+            slot = self._flt_slots.get(key)
+            if slot is None:
+                slot = len(self.flt_dirs)
+                self.flt_dirs.append(("env", name, kind))
+                self._flt_slots[key] = slot
+            c = f"((float)fa[{slot}])" if dtype == "f32" else f"fa[{slot}]"
+        return SVal(c, dtype, weak=weak, scope=0)
+
+    def _arg_array(self, source: tuple, ra) -> CArr:
+        """A launch-concrete array (free array or dest) as arguments."""
+        ranks = tuple(len(l.dims) for l in ra.ixfn.lmads)
+        key = ("arr", source)
+        ent = self._int_slots.get(key)
+        if ent is None:
+            bslot = len(self.buf_dirs)
+            self.buf_dirs.append(("arr", source))
+            base = self._int_width
+            self._int_width += sum(1 + 2 * r for r in ranks)
+            self.int_dirs.append(("arrcomp", source, ranks, ra.dtype))
+            ent = (bslot, base, ranks, ra.dtype)
+            self._int_slots[key] = ent
+        bslot, base, eranks, edtype = ent
+        if eranks != ranks or edtype != ra.dtype:
+            raise Reject("inconsistent array structure at emission")
+        lmads = []
+        k = base
+        # One "arrcomp" directive expands to 1 + 2*rank ints per LMAD:
+        # offset, then (shape, stride) per dimension, appended in order.
+        for r in ranks:
+            off = f"ia[{k}]"
+            k += 1
+            dims = []
+            for _ in range(r):
+                dims.append((f"ia[{k}]", f"ia[{k + 1}]"))
+                k += 2
+            lmads.append(CLmad(off, dims))
+        return CArr(MemObj(bslot, "0", 0), ra.dtype, lmads, scope=0)
+
+    def _mem_buf(self, name: str) -> int:
+        key = ("mem", name)
+        slot = self._buf_slots.get(key)
+        if slot is None:
+            slot = len(self.buf_dirs)
+            self.buf_dirs.append(("mem", name))
+            self._buf_slots[key] = slot
+        return slot
+
+    def site_of(self, stmt: A.Let, kind: str, label: str) -> int:
+        sid = self._site_ids.get(id(stmt))
+        if sid is None:
+            sid = len(self.sites)
+            self.sites.append((stmt, kind, label))
+            self._site_ids[id(stmt)] = sid
+        return sid
+
+    # -- symbolic expressions ------------------------------------------
+    def sym_c(self, expr: SymExpr, scope: Dict[str, object],
+              capture: Optional[Dict[str, str]] = None) -> str:
+        """A SymExpr as a long long C expression.
+
+        Variables resolve through the kernel ``scope`` (integer SVals)
+        and then the host environment (argument slots).  With
+        ``capture``, mutable locals are snapshotted into fresh immutable
+        locals first -- index functions are instantiated at binding
+        time, not at use time.
+        """
+        if not isinstance(expr, SymExpr):
+            return _c_int(int(expr))
+
+        def var_ref(v: str) -> str:
+            sv = scope.get(v)
+            if sv is None:
+                sv = self._host_scalar(v)
+            if not isinstance(sv, SVal) or sv.dtype not in ("i64", "bool"):
+                raise Reject(f"non-integer variable {v!r} in index expression")
+            self.check_scope(sv.scope)
+            c = sv.c if sv.dtype == "i64" else f"((long long)({sv.c}))"
+            if sv.mutable:
+                if capture is None:
+                    return f"({c})"
+                cap = capture.get(v)
+                if cap is None:
+                    cap = self.fresh("cap")
+                    self.emit(f"long long {cap} = {c};")
+                    capture[v] = cap
+                return cap
+            return f"({c})"
+
+        parts = []
+        for mono, coeff in sorted(
+            expr.terms.items(), key=lambda kv: str(kv[0])
+        ):
+            factors = [_c_int(coeff)]
+            for v, p in mono:
+                factors.extend([var_ref(v)] * p)
+            parts.append("*".join(factors))
+        if not parts:
+            return _c_int(0)
+        return "(" + " + ".join(parts) + ")"
+
+    # -- views ----------------------------------------------------------
+    def view_from_binding(self, pe, scope, memenv) -> CArr:
+        b = binding_of(pe)
+        if b is None:
+            raise Reject(f"array {pe.name} lacks a memory binding")
+        assert isinstance(pe.type, ArrayType)
+        return self.view_of(b.mem, b.ixfn, pe.type.dtype, scope, memenv)
+
+    def resolve_memobj(self, mem: str, scope, memenv) -> MemObj:
+        obj = memenv.get(mem)
+        if obj is None:
+            sv = scope.get(mem)
+            if isinstance(sv, MemObj):
+                obj = sv
+        if obj is None:
+            # A host-level block: resolvable through the launch env at
+            # every launch (the resolved name may differ per launch).
+            try:
+                self.ex._resolve_mem(mem, self.env)
+            except Exception:
+                raise Reject(f"unresolvable memory {mem!r}") from None
+            obj = MemObj(self._mem_buf(mem), "0", 0)
+        self.check_scope(obj.scope)
+        return obj
+
+    def view_of(self, mem: str, ixfn, dtype: str, scope, memenv) -> CArr:
+        obj = self.resolve_memobj(mem, scope, memenv)
+        capture: Dict[str, str] = {}
+        lmads = []
+        for l in ixfn.lmads:
+            off = self.sym_c(l.offset, scope, capture)
+            dims = [
+                (self.sym_c(d.shape, scope, capture),
+                 self.sym_c(d.stride, scope, capture))
+                for d in l.dims
+            ]
+            lmads.append(CLmad(off, dims))
+        return CArr(obj, dtype, lmads, scope=self.cur_scope)
+
+    def use(self, arr: CArr) -> CArr:
+        self.check_scope(arr.scope, arr.mem.scope)
+        return arr
+
+    # -- addressing -----------------------------------------------------
+    def size_c(self, arr: CArr) -> str:
+        """Element count of the visible (inner) region, as a C local."""
+        expr = "*".join(f"({s})" for s, _ in arr.inner.dims) or "1LL"
+        n = self.fresh("sz")
+        self.emit(f"long long {n} = {expr};")
+        return n
+
+    def _through_outers(self, arr: CArr, flat: str) -> str:
+        """Unrank a flat inner offset through the outer LMADs (C order),
+        mirroring ``IndexFn.apply_concrete``."""
+        off = flat
+        for l in reversed(arr.lmads[:-1]):
+            r = self.fresh("r")
+            self.emit(f"long long {r} = {off};")
+            coords = []
+            for shp, _ in reversed(l.dims):
+                c = self.fresh("c")
+                self.emit(f"long long {c} = {r} % ({shp}); {r} /= ({shp});")
+                coords.append(c)
+            coords.reverse()
+            terms = [f"({l.offset})"] + [
+                f"{c}*({st})" for c, (_, st) in zip(coords, l.dims)
+            ]
+            o = self.fresh("o")
+            self.emit(f"long long {o} = " + " + ".join(terms) + ";")
+            off = o
+        return off
+
+    def point_offset(self, arr: CArr, idx: List[str]) -> str:
+        inner = arr.inner
+        if len(idx) != inner.rank:
+            raise Reject("index rank mismatch")
+        terms = [f"({inner.offset})"] + [
+            f"({i})*({st})" for i, (_, st) in zip(idx, inner.dims)
+        ]
+        o = self.fresh("o")
+        self.emit(f"long long {o} = " + " + ".join(terms) + ";")
+        return self._through_outers(arr, o)
+
+    def elem_offset(self, arr: CArr, e: str) -> str:
+        """Offset of flat element ``e`` in C order of the visible shape."""
+        inner = arr.inner
+        r = self.fresh("r")
+        self.emit(f"long long {r} = {e};")
+        coords = []
+        for shp, _ in reversed(inner.dims):
+            c = self.fresh("c")
+            self.emit(f"long long {c} = {r} % ({shp}); {r} /= ({shp});")
+            coords.append(c)
+        coords.reverse()
+        terms = [f"({inner.offset})"] + [
+            f"{c}*({st})" for c, (_, st) in zip(coords, inner.dims)
+        ]
+        o = self.fresh("o")
+        self.emit(f"long long {o} = " + " + ".join(terms) + ";")
+        return self._through_outers(arr, o)
+
+    def addr(self, arr: CArr, off: str) -> str:
+        ct = _CTYPE[arr.dtype]
+        return (
+            f"*({ct}*)(bufs[{arr.mem.buf}] + "
+            f"{arr.itemsize}*(({arr.mem.base}) + ({off})))"
+        )
+
+    # -- scalar semantics ----------------------------------------------
+    @staticmethod
+    def promote(x: SVal, y: SVal) -> Tuple[str, bool]:
+        if x.weak and y.weak:
+            dx = "i64" if x.dtype == "bool" else x.dtype
+            dy = "i64" if y.dtype == "bool" else y.dtype
+            if "f64" in (dx, dy) or "f32" in (dx, dy):
+                return "f64", True
+            return "i64", True
+        if x.weak or y.weak:
+            w, s = (x, y) if x.weak else (y, x)
+            # NEP 50: a weak Python scalar adopts the strong operand's
+            # dtype, except weak float forcing ints up to f64.
+            if w.dtype in ("f64", "f32") and s.dtype in ("i64", "bool"):
+                return "f64", False
+            if s.dtype == "bool":
+                return ("i64" if w.dtype in ("i64", "bool") else w.dtype,
+                        False)
+            return s.dtype, False
+        a, b = sorted((x.dtype, y.dtype))
+        return _PROMOTE[(a, b)], False
+
+    def cast(self, v: SVal, dtype: str) -> str:
+        if v.dtype == dtype:
+            return v.c
+        return f"(({_CTYPE[dtype]})({v.c}))"
+
+    def _bind_local(self, expr: str, dtype: str, weak: bool) -> SVal:
+        n = self.fresh()
+        self.emit(f"{_CTYPE[dtype]} {n} = {expr};")
+        return SVal(n, dtype, weak=weak, scope=self.cur_scope)
+
+    def binop(self, op: str, x: SVal, y: SVal) -> SVal:
+        dt, weak = self.promote(x, y)
+        xc, yc = self.cast(x, dt), self.cast(y, dt)
+        if op in ("+", "-", "*"):
+            if dt == "bool":
+                raise Reject("boolean arithmetic")
+            return self._bind_local(f"{xc} {op} {yc}", dt, weak)
+        if op == "/":
+            if dt in ("i64", "bool"):
+                return self._bind_local(
+                    f"((double)({xc})) / ((double)({yc}))", "f64", weak
+                )
+            return self._bind_local(f"{xc} / {yc}", dt, weak)
+        if op in ("//", "%"):
+            if dt not in ("i64",):
+                raise Reject(f"float {op} has no exact C form")
+            fn = "repro_fdiv" if op == "//" else "repro_fmod"
+            return self._bind_local(f"{fn}({xc}, {yc})", dt, weak)
+        if op in ("min", "max"):
+            # Python min/max return an *operand* (no conversion), so the
+            # result dtype would be value-dependent under mixed operand
+            # types; only the homogeneous case is exactly expressible.
+            if x.dtype != y.dtype or x.weak != y.weak:
+                raise Reject("mixed-type min/max")
+            cmp = "<" if op == "min" else ">"
+            return self._bind_local(
+                f"({yc} {cmp} {xc}) ? {yc} : {xc}", dt, weak
+            )
+        if op in ("<", "<=", "==", "!=", ">", ">="):
+            return self._bind_local(f"({xc} {op} {yc})", "bool", False)
+        if op in ("&&", "||"):
+            return self._bind_local(
+                f"(({x.c}) {op} ({y.c}))", "bool", False
+            )
+        if op == "pow":
+            raise Reject("pow has no bit-exact C form")
+        raise Reject(f"unknown binop {op!r}")
+
+    def unop(self, op: str, x: SVal) -> SVal:
+        if op == "neg":
+            if x.dtype == "bool":
+                raise Reject("negating a boolean")
+            return self._bind_local(f"-({x.c})", x.dtype, x.weak)
+        if op == "sqrt":
+            if x.dtype == "f32" and not x.weak:
+                return self._bind_local(f"sqrtf({x.c})", "f32", False)
+            return self._bind_local(f"sqrt((double)({x.c}))", "f64", False)
+        if op == "abs":
+            if x.dtype == "i64":
+                return self._bind_local(f"llabs({x.c})", "i64", x.weak)
+            if x.dtype == "f32":
+                return self._bind_local(f"fabsf({x.c})", "f32", x.weak)
+            if x.dtype == "f64":
+                return self._bind_local(f"fabs({x.c})", "f64", x.weak)
+            raise Reject("abs of a boolean")
+        if op == "i64":
+            return self._bind_local(f"((long long)({x.c}))", "i64", True)
+        if op == "f32":
+            return self._bind_local(f"((float)({x.c}))", "f32", False)
+        if op == "f64":
+            return self._bind_local(f"((double)({x.c}))", "f64", False)
+        if op in ("exp", "log"):
+            raise Reject(f"{op} is not bit-stable across libm/NumPy")
+        raise Reject(f"unknown unop {op!r}")
+
+    def operand(self, op, scope) -> SVal:
+        if isinstance(op, str):
+            sv = scope.get(op)
+            if sv is None:
+                return self._host_scalar(op)
+            if not isinstance(sv, SVal):
+                raise Reject(f"array operand {op!r} in scalar position")
+            self.check_scope(sv.scope)
+            return sv
+        if isinstance(op, SymExpr):
+            return SVal(self.sym_c(op, scope), "i64", weak=True)
+        if isinstance(op, bool):
+            return SVal("1" if op else "0", "bool", weak=True)
+        if isinstance(op, int):
+            return SVal(_c_int(op), "i64", weak=True)
+        if isinstance(op, float):
+            return SVal(_c_lit(op, "f64"), "f64", weak=True)
+        raise Reject(f"unsupported operand {op!r}")
+
+    # -- statements -----------------------------------------------------
+    def value_of(self, name: str, scope, memenv):
+        v = scope.get(name)
+        if v is not None:
+            return v
+        v = memenv.get(name)
+        if v is not None:
+            return v
+        hv = self.env.get(name)
+        from repro.mem.exec import RuntimeArray
+
+        if isinstance(hv, RuntimeArray):
+            return self._arg_array(("env", name), hv)
+        if hv is None:
+            raise Reject(f"unbound variable {name!r}")
+        return self._host_scalar(name)
+
+    def array_value(self, name: str, scope, memenv) -> CArr:
+        v = self.value_of(name, scope, memenv)
+        if not isinstance(v, CArr):
+            raise Reject(f"{name!r} is not an array value")
+        return self.use(v)
+
+    def fix0(self, arr: CArr, idx: str) -> CArr:
+        inner = arr.inner
+        if inner.rank < 1:
+            raise Reject("fixing a dimension of a rank-0 view")
+        fixed = CLmad(
+            f"({inner.offset}) + ({idx})*({inner.dims[0][1]})",
+            list(inner.dims[1:]),
+        )
+        return CArr(
+            arr.mem, arr.dtype, list(arr.lmads[:-1]) + [fixed],
+            scope=self.cur_scope,
+        )
+
+    def emit_block(self, block: A.Block, scope, memenv, site: int):
+        for stmt in block.stmts:
+            self.emit_stmt(stmt, scope, memenv, site)
+        return [self.value_of(r, scope, memenv) for r in block.result]
+
+    def emit_stmt(self, stmt: A.Let, scope, memenv, site: int) -> None:
+        exp = stmt.exp
+
+        if isinstance(exp, A.Alloc):
+            self._emit_alloc(stmt, exp, scope, memenv)
+            return
+
+        if isinstance(exp, (A.Lit, A.ScalarE, A.BinOp, A.UnOp)):
+            scope[stmt.names[0]] = self._scalar_exp(exp, scope, site)
+            return
+
+        if isinstance(exp, A.VarRef):
+            pe = stmt.pattern[0]
+            if pe.is_array():
+                scope[pe.name] = self.view_from_binding(pe, scope, memenv)
+            else:
+                scope[pe.name] = self.value_of(exp.name, scope, memenv)
+            return
+
+        if isinstance(
+            exp, (A.SliceT, A.LmadSlice, A.Rearrange, A.Reshape, A.Reverse)
+        ):
+            # Pure change of layout: the (possibly rebased) annotation is
+            # authoritative; no data moves.
+            scope[stmt.names[0]] = self.view_from_binding(
+                stmt.pattern[0], scope, memenv
+            )
+            return
+
+        if isinstance(exp, (A.Iota, A.Replicate, A.Scratch)):
+            dest = self.view_from_binding(stmt.pattern[0], scope, memenv)
+            if not isinstance(exp, A.Scratch):
+                sz = self.size_c(dest)
+                self.charge(site, 2, f"{sz}*{dest.itemsize}")
+                if isinstance(exp, A.Iota):
+                    val = None
+                else:
+                    val = self.operand(exp.value, scope)
+                ev = self.fresh("e")
+                self.open_block(
+                    f"for (long long {ev} = 0; {ev} < {sz}; {ev}++)"
+                )
+                off = self.elem_offset(dest, ev)
+                src = ev if val is None else val.c
+                self.emit(
+                    f"{self.addr(dest, off)} = "
+                    f"({_CTYPE[dest.dtype]})({src});"
+                )
+                self.close_block()
+            # Scratch is uninitialized memory: writes nothing (the fresh
+            # zeroed alloc buffer already matches the interpreter's
+            # deterministic "uninitialized" contents).
+            scope[stmt.names[0]] = dest
+            return
+
+        if isinstance(exp, A.Copy):
+            src = self.array_value(exp.src, scope, memenv)
+            dest = self.view_from_binding(stmt.pattern[0], scope, memenv)
+            self.emit_copy(src, dest, site)
+            scope[stmt.names[0]] = dest
+            return
+
+        if isinstance(exp, A.Concat):
+            dest = self.view_from_binding(stmt.pattern[0], scope, memenv)
+            inner = dest.inner
+            if inner.rank < 1:
+                raise Reject("concat into a rank-0 view")
+            co = self.fresh("co")
+            self.emit(f"long long {co} = 0;")
+            for s in exp.srcs:
+                src = self.array_value(s, scope, memenv)
+                if src.inner.rank < 1:
+                    raise Reject("concat of a rank-0 view")
+                rows = self.fresh("rw")
+                self.emit(f"long long {rows} = {src.inner.dims[0][0]};")
+                region = CLmad(
+                    f"({inner.offset}) + ({co})*({inner.dims[0][1]})",
+                    [(rows, inner.dims[0][1])] + list(inner.dims[1:]),
+                )
+                rarr = CArr(
+                    dest.mem, dest.dtype,
+                    list(dest.lmads[:-1]) + [region], scope=self.cur_scope,
+                )
+                self.emit_copy(src, rarr, site)
+                self.emit(f"{co} += {rows};")
+            scope[stmt.names[0]] = dest
+            return
+
+        if isinstance(exp, A.Index):
+            src = self.array_value(exp.src, scope, memenv)
+            idx = [self.sym_c(i, scope) for i in exp.indices]
+            self.pend(site, 1, src.itemsize)
+            off = self.point_offset(src, idx)
+            n = self.fresh()
+            self.emit(f"{_CTYPE[src.dtype]} {n} = {self.addr(src, off)};")
+            scope[stmt.names[0]] = SVal(
+                n, src.dtype, weak=False, scope=self.cur_scope
+            )
+            return
+
+        if isinstance(exp, A.Update):
+            self._emit_update(stmt, exp, scope, memenv, site)
+            return
+
+        if isinstance(exp, A.Map):
+            self._emit_nested_map(stmt, exp, scope, memenv)
+            return
+
+        if isinstance(exp, A.Loop):
+            self._emit_loop(stmt, exp, scope, memenv, site)
+            return
+
+        if isinstance(exp, A.If):
+            self._emit_if(stmt, exp, scope, memenv, site)
+            return
+
+        raise Reject(f"{type(exp).__name__} inside a kernel")
+
+    def _scalar_exp(self, exp: A.Exp, scope, site: int) -> SVal:
+        if isinstance(exp, A.Lit):
+            return SVal(_c_lit(exp.value, exp.dtype), exp.dtype, weak=False)
+        if isinstance(exp, A.ScalarE):
+            n = self.fresh()
+            self.emit(f"long long {n} = {self.sym_c(exp.expr, scope)};")
+            return SVal(n, "i64", weak=True, scope=self.cur_scope)
+        if isinstance(exp, A.BinOp):
+            self.pend(site, 3, 1)
+            return self.binop(
+                exp.op, self.operand(exp.x, scope), self.operand(exp.y, scope)
+            )
+        assert isinstance(exp, A.UnOp)
+        self.pend(site, 3, 1)
+        return self.unop(exp.op, self.operand(exp.x, scope))
+
+    # -- copies ---------------------------------------------------------
+    def emit_copy(self, src: CArr, dst: CArr, site: int) -> None:
+        src, dst = self.use(src), self.use(dst)
+        if src.dtype != dst.dtype:
+            raise Reject("copy between differing element types")
+        ssz, dsz = self.size_c(src), self.size_c(dst)
+        snb = f"{ssz}*{src.itemsize}"
+        dnb = f"{dsz}*{dst.itemsize}"
+        structural = len(src.lmads) == len(dst.lmads) and all(
+            a.rank == b.rank for a, b in zip(src.lmads, dst.lmads)
+        )
+        if structural:
+            # The interpreter elides when (block, index fn) coincide;
+            # concrete index functions compare componentwise numerically.
+            conds = [
+                f"bufs[{src.mem.buf}] == bufs[{dst.mem.buf}]",
+                f"({src.mem.base}) == ({dst.mem.base})",
+            ]
+            for a, b in zip(src.lmads, dst.lmads):
+                conds.append(f"({a.offset}) == ({b.offset})")
+                for (sh1, st1), (sh2, st2) in zip(a.dims, b.dims):
+                    conds.append(f"({sh1}) == ({sh2})")
+                    conds.append(f"({st1}) == ({st2})")
+            el = self.fresh("el")
+            self.emit(f"char {el} = {' && '.join(conds)};")
+            self.open_block(f"if ({el})")
+            self.charge(site, 4, "1LL")
+            self.charge(site, 5, f"{snb} + {dnb}")
+            self.close_block()
+            self.open_block("else")
+            self._copy_body(src, dst, dsz, snb, dnb, site)
+            self.close_block()
+        else:
+            self._copy_body(src, dst, dsz, snb, dnb, site)
+
+    def _copy_body(self, src, dst, dsz, snb, dnb, site) -> None:
+        self.charge(site, 1, snb)
+        self.charge(site, 2, dnb)
+        ev = self.fresh("e")
+        self.open_block(f"for (long long {ev} = 0; {ev} < {dsz}; {ev}++)")
+        soff = self.elem_offset(src, ev)
+        doff = self.elem_offset(dst, ev)
+        self.emit(f"{self.addr(dst, doff)} = {self.addr(src, soff)};")
+        self.close_block()
+
+    # -- allocation -----------------------------------------------------
+    def _emit_alloc(self, stmt: A.Let, exp: A.Alloc, scope, memenv) -> None:
+        name = stmt.names[0]
+        counts = []
+        for entry in self._alloc_path:
+            if entry is None:
+                raise Reject("allocation under a data-dependent branch")
+            if not entry[3]:
+                raise Reject("allocation under a non-launch-evaluable loop")
+            counts.append(entry)
+        for fv in exp.size.free_vars():
+            if fv not in self.env or fv in scope:
+                raise Reject("allocation size not launch-evaluable")
+        site_idx = len(self.alloc_sites)
+        bslot = len(self.buf_dirs)
+        self.buf_dirs.append(("alloc", site_idx))
+        self.alloc_sites.append(
+            (name, exp.size, tuple(e[2] for e in counts), exp.dtype)
+        )
+        # Linearized slot: thread index, then enclosing iteration indices
+        # (one disjoint slot per dynamic execution, emulating the
+        # interpreter's fresh block per alloc execution).
+        slot = None
+        for cnt_c, idx, _, _ in counts:
+            slot = idx if slot is None else f"(({slot})*({cnt_c}) + ({idx}))"
+        size_c = self.sym_c(exp.size, scope)
+        base = self.fresh("ab")
+        self.emit(f"long long {base} = ({slot})*({size_c});")
+        memenv[name] = MemObj(bslot, base, self.cur_scope)
+
+    # -- compound statements --------------------------------------------
+    def _emit_update(self, stmt, exp: A.Update, scope, memenv, site) -> None:
+        result = self.view_from_binding(stmt.pattern[0], scope, memenv)
+        spec = exp.spec
+        if isinstance(spec, A.PointSpec):
+            idx = [self.sym_c(i, scope) for i in spec.indices]
+            self.pend(site, 2, result.itemsize)
+            off = self.point_offset(result, idx)
+            val = self.operand(exp.value, scope)
+            self.emit(
+                f"{self.addr(result, off)} = "
+                f"({_CTYPE[result.dtype]})({val.c});"
+            )
+            scope[stmt.names[0]] = result
+            return
+        if isinstance(spec, A.TripletSpec):
+            inner = result.inner
+            if len(spec.triplets) != inner.rank:
+                raise Reject("triplet rank mismatch")
+            off_terms = [f"({inner.offset})"]
+            dims = []
+            for (a, b, c), (_, st) in zip(spec.triplets, inner.dims):
+                off_terms.append(f"({self.sym_c(a, scope)})*({st})")
+                dims.append(
+                    (self.sym_c(b, scope), f"({self.sym_c(c, scope)})*({st})")
+                )
+            region = CArr(
+                result.mem, result.dtype,
+                list(result.lmads[:-1])
+                + [CLmad(" + ".join(off_terms), dims)],
+                scope=self.cur_scope,
+            )
+            if not isinstance(exp.value, str):
+                raise Reject("slice update value must be an array variable")
+            value = self.array_value(exp.value, scope, memenv)
+            self.emit_copy(value, region, site)
+            scope[stmt.names[0]] = result
+            return
+        raise Reject("LMAD-spec update inside a kernel")
+
+    def _emit_nested_map(self, stmt, exp: A.Map, scope, memenv) -> None:
+        if len(exp.lam.params) != 1:
+            raise Reject("multi-parameter map lambda")
+        nsite = self.site_of(stmt, "map", f"map:{'/'.join(stmt.names)}")
+        # The statement's execution (not its threads) creates the kernel
+        # stat, width 0 included -- counted in the *enclosing* block.
+        self.pend(nsite, 0, 1)
+        dests = [
+            self.view_from_binding(pe, scope, memenv) if pe.is_array()
+            else None
+            for pe in stmt.pattern
+        ]
+        wvar = self.fresh("w")
+        self.emit(f"long long {wvar} = {self.sym_c(exp.width, scope)};")
+        ok = all(
+            fv in self.env and fv not in scope
+            for fv in exp.width.free_vars()
+        )
+        ivar = self.fresh("i")
+        self._alloc_path.append((wvar, ivar, exp.width, ok))
+        self.open_block(f"for (long long {ivar} = 0; {ivar} < {wvar}; {ivar}++)")
+        child = dict(scope)
+        child[exp.lam.params[0]] = SVal(
+            ivar, "i64", weak=True, scope=self.cur_scope
+        )
+        vals = self.emit_block(exp.lam.body, child, memenv, nsite)
+        self._write_map_results(dests, vals, ivar, nsite)
+        self.close_block()
+        self._alloc_path.pop()
+        for pe, dest in zip(stmt.pattern, dests):
+            if dest is not None:
+                scope[pe.name] = dest
+
+    def _write_map_results(self, dests, vals, ivar, site) -> None:
+        for dest, val in zip(dests, vals):
+            if dest is None:
+                continue
+            region = self.fix0(dest, ivar)
+            if isinstance(val, CArr):
+                self.emit_copy(val, region, site)
+            elif isinstance(val, SVal):
+                self.pend(site, 2, dest.itemsize)
+                off = self.point_offset(
+                    region, ["0LL"] * region.inner.rank
+                )
+                self.emit(
+                    f"{self.addr(region, off)} = "
+                    f"({_CTYPE[dest.dtype]})({val.c});"
+                )
+            else:
+                raise Reject("unsupported map result value")
+
+    def _emit_loop(self, stmt, exp: A.Loop, scope, memenv, site) -> None:
+        cnt = self.fresh("n")
+        self.emit(f"long long {cnt} = {self.sym_c(exp.count, scope)};")
+        param_bindings = getattr(exp.body, "param_bindings", {})
+        carried = []
+        for prm, initname in exp.carried:
+            val = self.value_of(initname, scope, memenv)
+            if isinstance(prm.type, ArrayType):
+                if not isinstance(val, CArr):
+                    raise Reject("array loop param initialized by non-array")
+                self.check_scope(val.scope, val.mem.scope)
+                b = param_bindings.get(prm.name)
+                # Mirrors the interpreter: the param binding's memory
+                # rebinds to the carried value's block unless it already
+                # names a host-level block.
+                rebind = b is None or b.mem not in self.ex.mem
+                carried.append(("arr", prm, val, b, rebind))
+            else:
+                if not isinstance(val, SVal):
+                    raise Reject("scalar loop param initialized by non-scalar")
+                cvar = self.fresh("s")
+                self.emit(f"{_CTYPE[val.dtype]} {cvar} = {val.c};")
+                sv = SVal(
+                    cvar, val.dtype, val.weak, mutable=True,
+                    scope=self.cur_scope,
+                )
+                carried.append(("scal", prm, sv, None, False))
+        ok = all(
+            fv in self.env and fv not in scope
+            for fv in exp.count.free_vars()
+        )
+        idxv = self.fresh("q")
+        self._alloc_path.append((cnt, idxv, exp.count, ok))
+        self.open_block(f"for (long long {idxv} = 0; {idxv} < {cnt}; {idxv}++)")
+        child = dict(scope)
+        child[exp.index] = SVal(idxv, "i64", weak=True, scope=self.cur_scope)
+        for kind, prm, v, b, rebind in carried:
+            if kind == "scal":
+                child[prm.name] = v
+            elif b is not None and not rebind:
+                child[prm.name] = self.view_of(
+                    b.mem, b.ixfn, prm.type.dtype, child, memenv
+                )
+            elif b is not None:
+                child[b.mem] = v.mem
+                capture: Dict[str, str] = {}
+                lmads = [
+                    CLmad(
+                        self.sym_c(l.offset, child, capture),
+                        [
+                            (self.sym_c(d.shape, child, capture),
+                             self.sym_c(d.stride, child, capture))
+                            for d in l.dims
+                        ],
+                    )
+                    for l in b.ixfn.lmads
+                ]
+                child[prm.name] = CArr(
+                    v.mem, prm.type.dtype, lmads, scope=self.cur_scope
+                )
+            else:
+                child[prm.name] = v
+        vals = self.emit_block(exp.body, child, memenv, site)
+        upds = []
+        for (kind, prm, v, b, rebind), nv in zip(carried, vals):
+            if kind == "scal":
+                if not isinstance(nv, SVal):
+                    raise Reject("scalar loop result is not a scalar")
+                if nv.dtype != v.dtype or nv.weak != v.weak:
+                    raise Reject("loop-carried scalar changes type")
+                t = self.fresh("t")
+                self.emit(f"{_CTYPE[v.dtype]} {t} = {nv.c};")
+                upds.append((v.c, t))
+            else:
+                if not isinstance(nv, CArr):
+                    raise Reject("array loop result is not an array")
+                # Fixpoint requirement: the carried block must not rotate
+                # across iterations (in-place update chains satisfy this;
+                # in-kernel double-buffering falls back to vectorized).
+                if rebind or b is None:
+                    if not nv.mem.same(v.mem):
+                        raise Reject("loop-carried array changes blocks")
+        for cvar, t in upds:
+            self.emit(f"{cvar} = {t};")
+        self.close_block()
+        self._alloc_path.pop()
+        # Final state: scalars live in their C locals; arrays re-derive
+        # from the pattern bindings (or carry just their block identity).
+        finals: List[object] = []
+        for (kind, prm, v, b, rebind), nv in zip(carried, vals):
+            if kind == "scal":
+                finals.append(v)
+            else:
+                finals.append(
+                    CArr(nv.mem, nv.dtype, nv.lmads, scope=nv.scope)
+                )
+        finals.extend(vals[len(carried):])
+        self._bind_compound(stmt, finals, scope, memenv)
+
+    def _bind_compound(self, stmt, vals, scope, memenv) -> None:
+        for pe, val in zip(stmt.pattern, vals):
+            if not pe.is_array():
+                if not isinstance(val, (SVal, MemObj)):
+                    raise Reject("unsupported compound result")
+                scope[pe.name] = val
+        for pe, val in zip(stmt.pattern, vals):
+            if pe.is_array():
+                if pe.mem is not None:
+                    b = binding_of(pe)
+                    if not self._mem_resolvable(b.mem, scope, memenv):
+                        if not isinstance(val, CArr):
+                            raise Reject("existential result is not an array")
+                        self.check_scope(val.mem.scope)
+                        memenv[b.mem] = val.mem
+                    scope[pe.name] = self.view_from_binding(
+                        pe, scope, memenv
+                    )
+                else:
+                    scope[pe.name] = val
+
+    def _mem_resolvable(self, mem: str, scope, memenv) -> bool:
+        if mem in memenv or isinstance(scope.get(mem), MemObj):
+            return True
+        try:
+            self.ex._resolve_mem(mem, self.env)
+            return True
+        except Exception:
+            return False
+
+    def _emit_if(self, stmt, exp: A.If, scope, memenv, site) -> None:
+        cond = self.operand(exp.cond, scope)
+        mark = len(self.lines)
+        decl_indent = "    " * self.indent
+        self._alloc_path.append(None)
+        self.open_block(f"if ({cond.c})")
+        tvals = self.emit_block(exp.then_block, dict(scope), memenv, site)
+        for v in tvals:
+            if not isinstance(v, SVal):
+                raise Reject("non-scalar if result inside a kernel")
+        temps = [self.fresh("r") for _ in tvals]
+        for t, v in zip(temps, tvals):
+            self.emit(f"{t} = {v.c};")
+        self.close_block()
+        self.open_block("else")
+        evals = self.emit_block(exp.else_block, dict(scope), memenv, site)
+        if len(evals) != len(tvals):
+            raise Reject("if branches disagree on result arity")
+        for v, tv in zip(evals, tvals):
+            if not isinstance(v, SVal):
+                raise Reject("non-scalar if result inside a kernel")
+            if v.dtype != tv.dtype or v.weak != tv.weak:
+                raise Reject("if branches disagree on result type")
+        for t, v in zip(temps, evals):
+            self.emit(f"{t} = {v.c};")
+        self.close_block()
+        self._alloc_path.pop()
+        decls = [
+            f"{decl_indent}{_CTYPE[v.dtype]} {t};"
+            for t, v in zip(temps, tvals)
+        ]
+        self.lines[mark:mark] = decls
+        results = [
+            SVal(t, v.dtype, v.weak, mutable=True, scope=self.cur_scope)
+            for t, v in zip(temps, tvals)
+        ]
+        self._bind_compound(stmt, results, scope, memenv)
+
+
+# ----------------------------------------------------------------------
+_HELPERS = """\
+static long long repro_fdiv(long long a, long long b) {
+    long long q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) q--;
+    return q;
+}
+static long long repro_fmod(long long a, long long b) {
+    long long r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+"""
+
+
+def emit_kernel(ex, stmt: A.Let, exp: A.Map, env, dests) -> KernelSpec:
+    """Emit one outermost map statement as a complete C translation unit.
+
+    ``env``/``dests`` come from the statement's *first* launch; structure
+    derived from them (index-function ranks, scalar kinds) is validated
+    against every later launch by the engine.  Raises :class:`Reject`
+    when any construct in the subtree is outside the native set.
+    """
+    if len(exp.lam.params) != 1:
+        raise Reject("multi-parameter map lambda")
+    em = _Emitter(ex, env)
+    em.site_of(stmt, "map", f"map:{'/'.join(stmt.names)}")  # site 0
+    dest_arrs = []
+    for k, d in enumerate(dests):
+        dest_arrs.append(
+            em._arg_array(("dest", k), d) if d is not None else None
+        )
+    ok = all(fv in env for fv in exp.width.free_vars())
+    em._alloc_path.append(("W", "t", exp.width, ok))
+    em.open_block("for (long long t = 0; t < W; t++)")
+    scope = {
+        exp.lam.params[0]: SVal("t", "i64", weak=True, scope=em.cur_scope)
+    }
+    memenv: Dict[str, MemObj] = {}
+    vals = em.emit_block(exp.lam.body, scope, memenv, 0)
+    em._write_map_results(dest_arrs, vals, "t", 0)
+    em.close_block()
+    body = "\n".join(em.lines)
+    source = (
+        f"/* repro native kernel (ABI v{ABI_VERSION}) -- "
+        f"generated from memory IR; do not edit. */\n"
+        "#include <math.h>\n"
+        "#include <stdlib.h>\n\n"
+        f"{_HELPERS}\n"
+        "void repro_kernel(long long W, const long long* ia, "
+        "const double* fa, char** bufs, long long* C) {\n"
+        "    (void)ia; (void)fa; (void)bufs; (void)C;\n"
+        f"{body}\n"
+        "}\n"
+    )
+    return KernelSpec(
+        source=source,
+        int_dirs=em.int_dirs,
+        flt_dirs=em.flt_dirs,
+        buf_dirs=em.buf_dirs,
+        alloc_sites=em.alloc_sites,
+        sites=em.sites,
+    )

@@ -63,6 +63,14 @@ PROVER_BASELINE = Path("benchmarks") / "results" / "prover_tier_baseline.json"
 #: ``python -m repro.bench --write-serve-baseline``.
 SERVE_BASELINE = Path("benchmarks") / "results" / "serve_baseline.json"
 
+#: Committed reference for the native-tier regression gate: CI fails
+#: when a benchmark's native kernel coverage (fraction of real-mode map
+#: dispatches served by compiled C) falls below the recorded value, or
+#: when fewer benchmarks beat the vectorized tier's warm wall clock than
+#: recorded.  Skipped entirely when no C compiler is available.
+#: Regenerate with ``python -m repro.bench --write-native-baseline``.
+NATIVE_BASELINE = Path("benchmarks") / "results" / "native_baseline.json"
+
 
 def _prover_tiers(opt) -> dict:
     """Deciding-tier tallies summed over the optimized compile's passes."""
@@ -119,6 +127,11 @@ def main(argv=None) -> int:
                         help="record current serving metrics as the "
                              "regression baseline "
                              "(benchmarks/results/serve_baseline.json)")
+    parser.add_argument("--write-native-baseline", action="store_true",
+                        help="record per-benchmark native-tier coverage "
+                             "and wall-clock wins as the regression "
+                             "baseline "
+                             "(benchmarks/results/native_baseline.json)")
     parser.add_argument("--serve-requests", type=int, default=100,
                         metavar="N",
                         help="warm requests per benchmark in the serve "
@@ -164,6 +177,12 @@ def main(argv=None) -> int:
     serve_baseline = {}
     if SERVE_BASELINE.exists():
         serve_baseline = json.loads(SERVE_BASELINE.read_text())
+    native_failed = []
+    native_baseline = {}
+    if NATIVE_BASELINE.exists():
+        native_baseline = json.loads(NATIVE_BASELINE.read_text())
+    native_wins = 0
+    native_measured = 0
     results = {}
     for name in names:
         module = registry[name]
@@ -242,7 +261,7 @@ def main(argv=None) -> int:
                 prover_failed.append(name)
 
         engine = None
-        if args.json:
+        if args.json or args.write_native_baseline:
             engine = measure_engine(module, PERF_DATASETS[name], compiled)
             print(f"engine: interp {engine['interp_s']:.2f}s / "
                   f"vec {engine['vec_s']:.2f}s = "
@@ -252,6 +271,27 @@ def main(argv=None) -> int:
                     and engine["vec_hit_rate"] > 0
                     and engine["footprint_equal"]):
                 tier_failed.append(name)
+            native = engine["native"]
+            if native is not None:
+                native_measured += 1
+                if native["native_speedup"] > 1.0:
+                    native_wins += 1
+                print(f"native: {native['native_s'] * 1000:.2f}ms warm = "
+                      f"{native['native_speedup']:.1f}x over vec  "
+                      f"(coverage {native['native_hit_rate']:.2f}, "
+                      f"{native['native_launches']} launches, "
+                      f"codegen {native['codegen_s']:.2f}s)")
+                if not (native["outputs_equal"] and native["stats_equal"]
+                        and native["footprint_equal"]):
+                    print(f"NATIVE DIFFERENTIAL FAILED: {native}",
+                          file=sys.stderr)
+                    native_failed.append(name)
+                rec = native_baseline.get(name, {}).get("native_hit_rate")
+                if rec is not None and native["native_hit_rate"] < rec:
+                    print(f"NATIVE COVERAGE REGRESSION: hit rate "
+                          f"{native['native_hit_rate']:.2f} below baseline "
+                          f"{rec:.2f}", file=sys.stderr)
+                    native_failed.append(name)
 
         serve = None
         if args.json or args.write_serve_baseline:
@@ -354,6 +394,25 @@ def main(argv=None) -> int:
         PROVER_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {PROVER_BASELINE}")
 
+    if args.write_native_baseline:
+        NATIVE_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            name: {
+                "dataset": results[name]["engine"]["dataset"],
+                "native_hit_rate":
+                    results[name]["engine"]["native"]["native_hit_rate"],
+                "native_launches":
+                    results[name]["engine"]["native"]["native_launches"],
+                "native_speedup_over_vec":
+                    results[name]["engine"]["native"]["native_speedup"],
+            }
+            for name in results
+            if (results[name]["engine"] or {}).get("native") is not None
+        }
+        payload["_wins_over_vec"] = native_wins
+        NATIVE_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {NATIVE_BASELINE}")
+
     if args.write_serve_baseline:
         SERVE_BASELINE.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -410,6 +469,17 @@ def main(argv=None) -> int:
     if serve_failed:
         print(f"SERVE REGRESSION: {', '.join(serve_failed)}",
               file=sys.stderr)
+        return 1
+    if native_failed:
+        print(f"NATIVE TIER REGRESSION: {', '.join(sorted(set(native_failed)))}",
+              file=sys.stderr)
+        return 1
+    rec_wins = native_baseline.get("_wins_over_vec")
+    if (rec_wins is not None and native_measured >= len(registry)
+            and native_wins < min(rec_wins, 3)):
+        print(f"NATIVE WALL-CLOCK REGRESSION: only {native_wins} of "
+              f"{native_measured} benchmarks beat the vectorized tier "
+              f"(baseline {rec_wins})", file=sys.stderr)
         return 1
     return 0
 

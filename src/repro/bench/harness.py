@@ -184,7 +184,7 @@ def measure_engine(module, args: Sequence, compiled=None) -> Dict[str, object]:
         for a, b in zip(vals_i, vals_v)
     )
     est = estimate_peak(opt.fun, inp)
-    return {
+    out = {
         "dataset": list(args),
         "interp_s": interp_s,
         "vec_s": vec_s,
@@ -205,7 +205,40 @@ def measure_engine(module, args: Sequence, compiled=None) -> Dict[str, object]:
             == ex_v.stats.peak_bytes
             == est.peak_bytes
         ),
+        "native": None,
     }
+
+    from repro.backend import maybe_engine
+
+    eng = maybe_engine(warn=False)
+    if eng is not None:
+        # First run pays C emission + cc; the reported wall clock is a
+        # warm launch into the cached shared objects (the serving path).
+        ex_w = MemExecutor(opt.fun, native=eng)
+        ex_w.run(**fresh())
+        ex_n = MemExecutor(opt.fun, native=eng)
+        t0 = time.perf_counter()
+        vals_n, _ = ex_n.run(**fresh())
+        native_s = time.perf_counter() - t0
+        native_outputs_equal = all(
+            np.array_equal(
+                np.asarray(materialize(ex_i, a)),
+                np.asarray(materialize(ex_n, b)),
+            )
+            for a, b in zip(vals_i, vals_n)
+        )
+        out["native"] = {
+            "native_s": native_s,
+            "native_speedup": vec_s / native_s if native_s > 0 else float("inf"),
+            "native_hit_rate": ex_n.stats.native_hit_rate,
+            "native_launches": ex_n.stats.native_launches,
+            "codegen_s": eng.codegen_seconds,
+            "outputs_equal": native_outputs_equal,
+            "stats_equal": ex_i.stats.signature() == ex_n.stats.signature(),
+            "peak_bytes_native": ex_n.stats.peak_bytes,
+            "footprint_equal": ex_n.stats.peak_bytes == est.peak_bytes,
+        }
+    return out
 
 
 def measure_fusion(

@@ -110,6 +110,7 @@ class MemExecutor:
         pool=None,
         offs_cache: Optional[Dict[Tuple[str, IndexFn], np.ndarray]] = None,
         vec_plans: Optional[Dict[int, bool]] = None,
+        native=None,
     ):
         if mode not in ("real", "dry"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -120,6 +121,12 @@ class MemExecutor:
         #: remains the semantic reference; debug mode always interprets so
         #: shadow-memory checks see every access.
         self.vectorize = vectorize and mode == "real" and not debug
+        #: Optional :class:`repro.backend.engine.NativeEngine` -- the
+        #: compiled-C tier, attempted before the vectorized dispatch.
+        #: Off by default on bare executors (the differential tests pin
+        #: exact vec/interp launch counts); :class:`repro.runtime.
+        #: Program` wires a shared engine in for warm serving.
+        self._native = native if self.vectorize else None
         #: Shadow-memory checking: every block gets a parallel boolean
         #: "was this element ever written" array; reads and writes are
         #: bounds-checked against the block extent.  Copies *propagate*
@@ -822,8 +829,19 @@ class MemExecutor:
         self._kernel_stack.append(ks)
         try:
             if self.mode == "real":
+                ran_native = False
+                if (
+                    self._native is not None
+                    and not nested
+                    and width > 0
+                ):
+                    ran_native = self._native.try_run_map(
+                        self, stmt, exp, env, width, dests
+                    )
                 ran_vec = False
-                if self.vectorize and width > 0:
+                if ran_native:
+                    self.stats.native_launches += 1
+                elif self.vectorize and width > 0:
                     if self._vec_engine is None:
                         from repro.mem.vectorize import VecEngine
 
@@ -835,7 +853,7 @@ class MemExecutor:
                     )
                 if ran_vec:
                     self.stats.vec_launches += 1
-                elif width > 0:
+                elif not ran_native and width > 0:
                     self.stats.interp_launches += 1
                     for i in range(width):
                         run_thread(i)

@@ -69,6 +69,13 @@ class ExecStats:
     #: quantity.
     vec_launches: int = 0
     interp_launches: int = 0
+    #: Outermost map launches served by the compiled-C tier
+    #: (:mod:`repro.backend`) and the cumulative C-emission + compiler
+    #: wall clock behind them.  Like the other tier counters these
+    #: describe *how* the run executed, never *what* it simulated, so
+    #: both are excluded from :meth:`signature`.
+    native_launches: int = 0
+    codegen_seconds: float = 0.0
     #: Fusion accounting (:mod:`repro.opt.fuse`): producers inlined into
     #: the kernels this run launched, and the write+read round trip the
     #: elided intermediates would have cost.  Excluded from
@@ -159,6 +166,16 @@ class ExecStats:
         total = self.vec_launches + self.interp_launches
         return self.vec_launches / total if total else 0.0
 
+    @property
+    def native_hit_rate(self) -> float:
+        """Fraction of real-mode map dispatches served by compiled
+        native kernels.  0.0 when nothing dispatched (dry mode, or the
+        tier is off)."""
+        total = (
+            self.native_launches + self.vec_launches + self.interp_launches
+        )
+        return self.native_launches / total if total else 0.0
+
     def signature(self) -> tuple:
         """Canonical tuple of every *simulated* quantity.
 
@@ -212,6 +229,12 @@ class ExecStats:
             f"({self.bytes_elided_fusion:,} bytes elided)",
             f"allocations     : {self.alloc_count} ({self.alloc_bytes:,} bytes)",
         ]
+        if self.native_launches:
+            lines.append(
+                f"native kernels  : {self.native_launches} launches "
+                f"(hit rate {self.native_hit_rate:.2f}, "
+                f"codegen {self.codegen_seconds:.3f}s)"
+            )
         if self.pool_hits or self.pool_misses:
             lines.append(
                 f"pooled buffers  : {self.pool_hits} reused / "

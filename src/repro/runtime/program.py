@@ -164,6 +164,14 @@ class Program:
         self._offs_cache: Dict = {}
         #: Shared vectorization plans (id(stmt) -> expressible?).
         self._vec_plans: Dict[int, bool] = {}
+        #: Shared native-tier dispatch plans (id(stmt) -> KernelSpec or
+        #: the rejection sentinel) and the lazily-built engine that owns
+        #: the compiled kernels.  One emission + cc invocation per map
+        #: statement per Program; every later run (and every concurrent
+        #: worker) dispatches straight into the cached shared object.
+        self._native_plans: Dict[int, object] = {}
+        self._native_engine = None
+        self._native_probed = False
         #: Serve repeated identical requests from prior responses
         #: (sound: the language is pure).  Overridable per call.
         self.memoize = memoize
@@ -199,6 +207,23 @@ class Program:
             )
         return "|".join(parts)
 
+    def _native(self, want: Optional[bool]):
+        """Resolve the per-call native preference to an engine (or None).
+
+        ``None`` means "use it if available"; availability is probed
+        once per program (honors ``REPRO_NATIVE`` and compiler
+        auto-detection, warning once when native was wanted but no
+        compiler exists)."""
+        if want is False:
+            return None
+        with self._lock:
+            if not self._native_probed:
+                self._native_probed = True
+                from repro.backend import maybe_engine
+
+                self._native_engine = maybe_engine(self._native_plans)
+        return self._native_engine
+
     def _request_key(
         self, inputs: Mapping[str, object], vectorize: bool
     ) -> tuple:
@@ -231,6 +256,7 @@ class Program:
         inputs: Mapping[str, object],
         vectorize: bool = True,
         memoize: Optional[bool] = None,
+        native: Optional[bool] = None,
     ) -> Tuple[List[object], ExecStats]:
         """Execute (or recall) one request against pooled buffers.
 
@@ -243,8 +269,13 @@ class Program:
         restamped with this call's wall clock.
         """
         t0 = time.perf_counter()
+        engine = self._native(native) if vectorize else None
         use_memo = self.memoize if memoize is None else memoize
-        key = self._request_key(inputs, vectorize) if use_memo else None
+        key = (
+            self._request_key(inputs, vectorize) + (engine is not None,)
+            if use_memo
+            else None
+        )
         leader = False
         while key is not None:
             with self._lock:
@@ -271,7 +302,7 @@ class Program:
             # store the loop returns the recalled response, otherwise
             # this call becomes the next leader and executes itself.
         try:
-            outs, stats = self._execute(inputs, vectorize)
+            outs, stats = self._execute(inputs, vectorize, engine)
         finally:
             if leader:
                 with self._lock:
@@ -291,7 +322,7 @@ class Program:
         return outs, stats
 
     def _execute(
-        self, inputs: Mapping[str, object], vectorize: bool
+        self, inputs: Mapping[str, object], vectorize: bool, engine=None
     ) -> Tuple[List[object], ExecStats]:
         """One real pooled execution (the memo's production path)."""
         with self.pool.lease() as lease:
@@ -301,8 +332,11 @@ class Program:
                 offs_cache=self._offs_cache,
                 vec_plans=self._vec_plans,
                 vectorize=vectorize,
+                native=engine,
             )
             vals, stats = ex.run(**dict(inputs))
+            if engine is not None:
+                stats.codegen_seconds = engine.codegen_seconds
             outs = [self._materialize(ex, v) for v in vals]
             skey = self.shape_key(inputs)
             if self.pool.plan(skey) is None:
@@ -320,7 +354,9 @@ class Program:
         skey = self.shape_key(inputs)
         need = self.pool.plan(skey) is None
         if not need and self.memoize:
-            key = self._request_key(inputs, True)
+            key = self._request_key(inputs, True) + (
+                self._native(None) is not None,
+            )
             with self._lock:
                 need = key not in self._memo
         if need:

@@ -1,0 +1,179 @@
+"""Degradation paths: the native tier must never be load-bearing.
+
+Switching it off (``REPRO_NATIVE=off``), losing the C compiler,
+corrupting the on-disk kernel cache, or a launch whose structure
+diverges from the cached plan must all leave every program running
+bit-identically on the remaining tiers -- and the tier bookkeeping
+(``native_launches``, ``codegen_seconds``) must stay out of the stats
+signature so tiers remain interchangeable.
+"""
+
+import ctypes
+
+import numpy as np
+import pytest
+
+import repro.backend.build as build
+import repro.runtime as rt
+from repro.backend import NativeEngine, maybe_engine, native_enabled
+from repro.backend.cemit import KernelSpec
+from repro.mem.exec import MemExecutor
+from repro.mem.stats import ExecStats
+
+needs_cc = pytest.mark.skipif(
+    not native_enabled(), reason="no C compiler available"
+)
+
+
+def _nn():
+    from repro.bench.programs import nn
+
+    return nn, nn.inputs_for(*nn.TEST_DATASETS["small"])
+
+
+# -- gating -------------------------------------------------------------
+class TestGating:
+    def test_env_off_disables_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "off")
+        assert not native_enabled()
+        assert maybe_engine() is None
+
+    def test_env_off_program_still_runs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "off")
+        mod, inputs = _nn()
+        program = rt.compile(mod.build(), pipeline="full")
+        outs, stats = program.run(inputs, memoize=False)
+        assert stats.native_launches == 0
+        ref, ref_stats = program.run(inputs, vectorize=False, memoize=False)
+        for a, b in zip(outs, ref):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+        assert stats.signature() == ref_stats.signature()
+
+    @needs_cc
+    def test_run_native_kwarg(self):
+        mod, inputs = _nn()
+        program = rt.compile(mod.build(), pipeline="full")
+        _, st_off = program.run(inputs, native=False, memoize=False)
+        assert st_off.native_launches == 0
+        _, st_on = program.run(inputs, memoize=False)
+        assert st_on.native_launches > 0
+        assert st_on.signature() == st_off.signature()
+
+    def test_missing_cc_warns_once(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        monkeypatch.setattr(build, "_cc_info", (None, ""))
+        monkeypatch.setattr(build, "_warned", False)
+        assert maybe_engine() is None
+        assert maybe_engine() is None
+        err = capsys.readouterr().err
+        assert err.count("no C compiler") == 1
+
+
+# -- kernel cache -------------------------------------------------------
+TRIVIAL = (
+    "void repro_kernel(long long W, const long long* ia,"
+    " const double* fa, char** bufs, long long* C)"
+    " { (void)ia; (void)fa; (void)bufs; C[0] += W; }\n"
+)
+
+
+def _call(fn, w):
+    counters = np.zeros(6, dtype=np.int64)
+    fn(
+        ctypes.c_longlong(w),
+        None,
+        None,
+        None,
+        counters.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong)),
+    )
+    return int(counters[0])
+
+
+@needs_cc
+class TestKernelCache:
+    def test_disk_hit_across_memo_clear(self):
+        fn, digest = build.compile_kernel(TRIVIAL)
+        assert _call(fn, 7) == 7
+        so = build.cache_dir() / f"{digest}.so"
+        mtime = so.stat().st_mtime_ns
+        build.clear_memo()
+        fn2, digest2 = build.compile_kernel(TRIVIAL)
+        assert digest2 == digest
+        assert so.stat().st_mtime_ns == mtime  # loaded, not rebuilt
+        assert _call(fn2, 3) == 3
+
+    def test_corrupt_so_rebuilds_cold(self):
+        fn, digest = build.compile_kernel(TRIVIAL)
+        so = build.cache_dir() / f"{digest}.so"
+        # Replace via a fresh inode (as an interrupted writer from
+        # another process would): the damaged entry must be unlinked
+        # and rebuilt cold, not trusted.
+        so.unlink()
+        so.write_bytes(b"this is not a shared object")
+        build.clear_memo()
+        fn2, digest2 = build.compile_kernel(TRIVIAL)
+        assert digest2 == digest
+        assert _call(fn2, 11) == 11  # rebuilt and loadable
+
+    def test_source_is_cached_beside_object(self):
+        _, digest = build.compile_kernel(TRIVIAL)
+        csrc = build.cache_dir() / f"{digest}.c"
+        assert csrc.read_text() == TRIVIAL
+
+
+# -- per-launch fallback ------------------------------------------------
+@needs_cc
+def test_structure_mismatch_falls_back_per_launch():
+    mod, inputs = _nn()
+    from repro.compiler import compile_fun
+
+    fun = compile_fun(mod.build(), pipeline="full").fun
+    eng = NativeEngine()
+    ex = MemExecutor(fun, native=eng)
+    vals, st = ex.run(**{k: (v.copy() if hasattr(v, "copy") else v)
+                         for k, v in inputs.items()})
+    assert st.native_launches > 0
+
+    # Poison every cached plan with a directive for a host scalar that
+    # does not exist: the next launch's structure check fails and must
+    # fall back -- per launch, without unplanning the statement or
+    # corrupting the run.
+    poisoned = 0
+    for spec in eng.plans.values():
+        if isinstance(spec, KernelSpec):
+            spec.int_dirs = list(spec.int_dirs) + [
+                ("env", "__poison__", "pyint")
+            ]
+            poisoned += 1
+    assert poisoned > 0
+
+    ex2 = MemExecutor(fun, native=eng)
+    vals2, st2 = ex2.run(**{k: (v.copy() if hasattr(v, "copy") else v)
+                            for k, v in inputs.items()})
+    assert st2.native_launches == 0
+    assert st2.vec_launches + st2.interp_launches > 0
+    assert st2.signature() == st.signature()
+    for a, b in zip(vals, vals2):
+        assert np.array_equal(
+            np.asarray(ex.mem[a.mem][a.ixfn.gather_offsets({})]),
+            np.asarray(ex2.mem[b.mem][b.ixfn.gather_offsets({})]),
+        )
+
+
+# -- stats bookkeeping --------------------------------------------------
+def test_tier_counters_stay_out_of_signature():
+    s = ExecStats()
+    base = s.signature()
+    s.native_launches = 7
+    s.codegen_seconds = 1.5
+    assert s.signature() == base
+
+
+def test_native_hit_rate():
+    s = ExecStats()
+    assert s.native_hit_rate == 0.0
+    s.native_launches = 3
+    assert s.native_hit_rate == 1.0
+    s.vec_launches = 2
+    s.interp_launches = 1
+    assert s.native_hit_rate == 0.5

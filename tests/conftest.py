@@ -1,4 +1,4 @@
-"""Shared fixtures: isolate every test from the persistent program cache.
+"""Shared fixtures: isolate every test from the persistent caches.
 
 ``compile_fun`` is cache-hitting (:mod:`repro.runtime`), and several
 tests rely on compilations actually *running* -- monkeypatched pass
@@ -6,11 +6,31 @@ seams, ``REPRO_PRINT_AFTER`` side effects, verification-failure
 injection.  Clearing the in-process cache before each test keeps those
 observable; the cache's own behavior is tested explicitly in
 ``tests/runtime``.
+
+The native kernel cache (:mod:`repro.backend.build`) is redirected to a
+per-session temporary directory so test runs never populate the
+checked-out ``benchmarks/results/.nativecache/`` -- mirroring the
+program-cache isolation above.  Compiled-kernel artifacts are keyed by
+content, so sharing one directory across the session is sound and keeps
+the suite from invoking cc hundreds of times.
 """
 
 import pytest
 
 from repro.runtime import clear_caches
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_native_cache(tmp_path_factory):
+    import repro.backend.build as build
+
+    d = tmp_path_factory.mktemp("nativecache")
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_NATIVE_CACHE", str(d))
+    build.clear_memo()
+    yield
+    mp.undo()
+    build.clear_memo()
 
 
 @pytest.fixture(autouse=True)
