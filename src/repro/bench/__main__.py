@@ -210,8 +210,36 @@ def main(argv=None) -> int:
         if report.validation_ran and not report.validated:
             failed.append(name)
 
+        fst = compiled[1].fuse_stats
+        if fst.failures:
+            rejected = ", ".join(
+                f"{rule} x{count}"
+                for rule, count in sorted(fst.failures.items())
+            )
+            print(f"fuse candidates rejected: {rejected}")
+
         if args.explain:
             print(report.traces["opt"].render())
+            if fst.failure_records:
+                print("fuse rejections (optimized pipeline):")
+                rows = [
+                    (r.rule, r.producer or "-", r.consumer or "-", r.location)
+                    for r in fst.failure_records
+                ]
+                widths = [
+                    max(len(h), *(len(row[i]) for row in rows))
+                    for i, h in enumerate(("rule", "producer", "consumer"))
+                ]
+                hdr = (f"  {'rule':<{widths[0]}}  {'producer':<{widths[1]}}  "
+                       f"{'consumer':<{widths[2]}}  location")
+                print(hdr)
+                print("  " + "-" * (len(hdr) - 2))
+                for rule, prod, cons, loc in rows:
+                    print(f"  {rule:<{widths[0]}}  {prod:<{widths[1]}}  "
+                          f"{cons:<{widths[2]}}  {loc}")
+                if fst.repeat_failures:
+                    print(f"  ({fst.repeat_failures} repeat rejection(s) of "
+                          f"already-tallied sites suppressed)")
 
         footprint = measure_footprint(module, PERF_DATASETS[name], compiled)
         opt_fp = footprint["opt"]
@@ -239,9 +267,22 @@ def main(argv=None) -> int:
             fusion_failed.append(name)
 
         recorded_traffic = traffic_baseline.get(name, {}).get("opt_traffic_bytes")
+        recorded_unfused = traffic_baseline.get(name, {}).get("unfused_traffic_bytes")
         if recorded_traffic is not None and fusion["fused_traffic"] > recorded_traffic:
             print(f"TRAFFIC REGRESSION: {fusion['fused_traffic']:,} bytes "
                   f"exceeds baseline {recorded_traffic:,}", file=sys.stderr)
+            traffic_failed.append(name)
+        elif (recorded_traffic is not None and recorded_unfused is not None
+              and recorded_traffic < recorded_unfused
+              and fusion["fused_traffic"] >= fusion["unfused_traffic"]):
+            # Tighter than the absolute ceiling: where the baseline records
+            # a strict fusion win, losing it (fusion silently no longer
+            # committing) fails even if traffic stays under the ceiling.
+            print(f"TRAFFIC REGRESSION: fusion win lost "
+                  f"({fusion['fused_traffic']:,} >= "
+                  f"{fusion['unfused_traffic']:,} unfused; baseline won "
+                  f"{recorded_unfused - recorded_traffic:,} bytes)",
+                  file=sys.stderr)
             traffic_failed.append(name)
 
         prover_tier = _prover_tiers(compiled[1])
@@ -336,6 +377,19 @@ def main(argv=None) -> int:
             "short_circuits": report.sc_committed,
             "dead_copy_reuses": report.sc_reused_copies,
             "sc_rejected": dict(report.sc_failures),
+            "fuse_rejections": {
+                "counts": dict(fst.failures),
+                "repeat_suppressed": fst.repeat_failures,
+                "records": [
+                    {
+                        "rule": r.rule,
+                        "location": r.location,
+                        "producer": r.producer,
+                        "consumer": r.consumer,
+                    }
+                    for r in fst.failure_records
+                ],
+            },
             "prover_tier": prover_tier,
             "pipeline_trace": {
                 label: trace.to_dict()

@@ -350,7 +350,8 @@ def _reference_of(module, args, inp) -> List[np.ndarray]:
     if name == "locvolcalib":
         return [module.reference(*args)]
     if name == "optionpricing":
-        return [np.float32(module.reference(*args))]
+        call, put = module.reference(*args)
+        return [np.float32(call), np.float32(put)]
     if name == "nn":
         v, i = module.reference(inp["lat"], inp["lng"], inp["qlat"], inp["qlng"])
         return [v, i]

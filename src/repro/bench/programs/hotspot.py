@@ -117,7 +117,28 @@ def build(iters: int | None = None) -> Fun:
     top = _edge_row(lp, T, P, SymExpr.const(0), is_top=True)
     bottom = _edge_row(lp, T, P, n - 1, is_top=False)
 
+    # Interior neighbour sums, staged as the separate whole-grid kernel a
+    # naive stencil compiler emits: a rank-2 [n-2][n-2] mapnest producer
+    # feeding the update consumer below.  Mapnest fusion inlines the
+    # producer at its single (r, c) read site and restores the classic
+    # one-kernel interior; fuse=False materializes the full interior sum
+    # grid in global memory and pays its write+read round trip per step.
+    sums = lp.map_(n - 2, index="rs")
+    rr2 = sums.idx + 1
+    srow = sums.map_(n - 2, index="cs")
+    cc = srow.idx + 1
+    u = srow.index(T, [rr2 - 1, cc])
+    d = srow.index(T, [rr2 + 1, cc])
+    lf = srow.index(T, [rr2, cc - 1])
+    rt = srow.index(T, [rr2, cc + 1])
+    s3p = srow.binop("+", srow.binop("+", u, d), srow.binop("+", lf, rt))
+    srow.returns(s3p)
+    (sumrow,) = srow.end()
+    sums.returns(sumrow)
+    (nsum,) = sums.end()
+
     mid = lp.map_(n - 2, index="r")
+    ri = mid.idx
     r = mid.idx + 1  # actual row
     # Left edge cell of the row.
     left_cell = _cell(
@@ -125,27 +146,12 @@ def build(iters: int | None = None) -> Fun:
         [r - 1, SymExpr.const(0)], [r + 1, SymExpr.const(0)],
         [r, SymExpr.const(0)], [r, SymExpr.const(1)],
     )
-    # Interior cells, staged as the two kernels a naive stencil compiler
-    # emits: a neighbour-sum producer feeding the update consumer.  Fusion
-    # inlines the producer and restores the classic one-kernel interior
-    # row; fuse=False materializes the per-row sums array in (expanded)
-    # global memory and pays its write+read round trip.
-    sums = mid.map_(n - 2, index="cs")
-    cc = sums.idx + 1
-    u = sums.index(T, [r - 1, cc])
-    d = sums.index(T, [r + 1, cc])
-    lf = sums.index(T, [r, cc - 1])
-    rt = sums.index(T, [r, cc + 1])
-    s3p = sums.binop("+", sums.binop("+", u, d), sums.binop("+", lf, rt))
-    sums.returns(s3p)
-    (nsum,) = sums.end()
-
     inner = mid.map_(n - 2, index="c")
     ci = inner.idx
     c = inner.idx + 1
     t = inner.index(T, [r, c])
     p = inner.index(P, [r, c])
-    s3 = inner.index(nsum, [ci])
+    s3 = inner.index(nsum, [ri, ci])
     t4 = inner.binop("*", t, 4.0)
     diff = inner.binop("-", s3, t4)
     kd = inner.binop("*", diff, K)

@@ -56,32 +56,35 @@ def build() -> Fun:
     fcur = lp["fc"]
 
     # --- stream, staged as Parboil's separate kernel: gather every
-    # (cell, direction) upwind distribution into a streamed grid copy.
-    # Fusion inlines the gather at its single read site inside the
-    # per-cell kernel below, restoring the classic one-kernel
-    # stream+collide step (the extra %9 / //9 decomposition it recomputes
+    # (cell, direction) upwind distribution into a streamed grid copy,
+    # shaped as the rank-2 mapnest it really is ([n*n][9], cell rows).
+    # Mapnest fusion inlines the gather at its single read site inside
+    # the per-cell kernel below, restoring the classic one-kernel
+    # stream+collide step (the row/column decomposition it recomputes
     # per read is arithmetic, not traffic); fuse=False materializes the
-    # full [n*n*9] streamed grid and pays its write+read round trip every
-    # time step.
-    st = lp.map_(n * n * 9, index="g")
-    g = st.idx
-    d2 = st.binop("%", g, 9)
-    cell2 = st.binop("//", g, 9)
+    # full [n*n][9] streamed grid and pays its write+read round trip
+    # every time step.
+    st = lp.map_(n * n, index="cl")
+    cell2 = st.idx
     r2 = st.binop("//", cell2, SymExpr.var("n"))
     c2 = st.binop("%", cell2, SymExpr.var("n"))
-    dr = st.index(dirs, [SymExpr.var(d2), 0])
-    dc = st.index(dirs, [SymExpr.var(d2), 1])
+    sd = st.map_(9, index="sdir")
+    d2 = sd.idx
+    dr = sd.index(dirs, [d2, 0])
+    dc = sd.index(dirs, [d2, 1])
     # (r - dr + n) % n, (c - dc + n) % n  -- periodic upwind neighbour
-    rsub = st.binop("-", r2, dr)
-    radd = st.binop("+", rsub, SymExpr.var("n"))
-    rn = st.binop("%", radd, SymExpr.var("n"))
-    csub = st.binop("-", c2, dc)
-    cadd = st.binop("+", csub, SymExpr.var("n"))
-    cn = st.binop("%", cadd, SymExpr.var("n"))
-    src = st.binop("*", rn, SymExpr.var("n"))
-    srcc = st.binop("+", src, cn)
-    sv = st.index(fcur, [SymExpr.var(srcc), SymExpr.var(d2)])
-    st.returns(sv)
+    rsub = sd.binop("-", SymExpr.var(r2), dr)
+    radd = sd.binop("+", rsub, SymExpr.var("n"))
+    rn = sd.binop("%", radd, SymExpr.var("n"))
+    csub = sd.binop("-", SymExpr.var(c2), dc)
+    cadd = sd.binop("+", csub, SymExpr.var("n"))
+    cn = sd.binop("%", cadd, SymExpr.var("n"))
+    src = sd.binop("*", rn, SymExpr.var("n"))
+    srcc = sd.binop("+", src, cn)
+    sv = sd.index(fcur, [SymExpr.var(srcc), d2])
+    sd.returns(sv)
+    (srow,) = sd.end()
+    st.returns(srow)
     (fstr,) = st.end()
 
     mp = lp.map_(n * n, index="cell")
@@ -91,7 +94,7 @@ def build() -> Fun:
     fin0 = mp.scratch("f32", [9])
     s1 = mp.loop(count=9, carried=[("fin", fin0)], index="d")
     d = s1.idx
-    v = s1.index(fstr, [cell * 9 + d])
+    v = s1.index(fstr, [cell, d])
     fin1 = s1.update_point(s1["fin"], [d], v)
     s1.returns(fin1)
     (fin,) = s1.end()

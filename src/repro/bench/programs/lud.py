@@ -147,6 +147,39 @@ def build() -> Fun:
     A3 = lp.update_lmad(A2, Wcol, Xcol)
 
     # ---- phase 4: interior rank-b update (nested 2-D map) -------------
+    # The dot products ``L[i,k] @ U[k,j]``, staged as the separate
+    # GEMM-like kernel a library call would be: a rank-4 [cnt][cnt][b][b]
+    # mapnest producer whose innermost value is a scalar accumulation
+    # loop over the two panel strips.  Mapnest fusion inlines it at its
+    # single read site in the update kernel below -- legal only because
+    # the per-read *footprint* proof narrows the producer's reads to the
+    # row/column panel regions, which are disjoint from the interior
+    # region the fused kernel writes (whole-array reasoning would see
+    # A's block and give up).  fuse=False materializes all
+    # (q-1-k)^2 * b^2 dot products and pays their write+read round trip
+    # every step.
+    dt = lp.map_(cnt, index="di")
+    dro = (k + 1 + dt.idx) * b
+    dtj = dt.map_(cnt, index="dj")
+    dco = (k + 1 + dtj.idx) * b
+    dtr = dtj.map_(b, index="dr")
+    dtc = dtr.map_(b, index="dc")
+    dz = dtc.lit(0.0, "f32")
+    dacc = dtc.loop(count=b, carried=[("dsum", dz)], index="dt")
+    dlv = dacc.index(A3, [(dro + dtr.idx) * n + k * b + dacc.idx])
+    duv = dacc.index(A3, [(k * b + dacc.idx) * n + dco + dtc.idx])
+    dacc2 = dacc.binop("+", dacc["dsum"], dacc.binop("*", dlv, duv))
+    dacc.returns(dacc2)
+    (dsum,) = dacc.end()
+    dtc.returns(dsum)
+    (dcrow,) = dtc.end()
+    dtr.returns(dcrow)
+    (dblk,) = dtr.end()
+    dtj.returns(dblk)
+    (dbrow,) = dtj.end()
+    dt.returns(dbrow)
+    (dots,) = dt.end()
+
     p4o = lp.map_(cnt, index="bi")
     bi = p4o.idx
     p4i = p4o.map_(cnt, index="bj")
@@ -157,12 +190,8 @@ def build() -> Fun:
     ir = p4i.loop(count=b, carried=[("in_r", int0)], index="r")
     ic = ir.loop(count=b, carried=[("in_c", ir["in_r"])], index="c")
     a0 = ic.index(A3, [(r0 + ir.idx) * n + c0 + ic.idx])
-    acc = ic.loop(count=b, carried=[("acc3", a0)], index="t")
-    lv = acc.index(A3, [(r0 + ir.idx) * n + k * b + acc.idx])
-    uv = acc.index(A3, [(k * b + acc.idx) * n + c0 + ic.idx])
-    acc2 = acc.binop("-", acc["acc3"], acc.binop("*", lv, uv))
-    acc.returns(acc2)
-    (sfin,) = acc.end()
+    dv = ic.index(dots, [bi, bj, ir.idx, ic.idx])
+    sfin = ic.binop("-", a0, dv)
     i2_ = ic.update_point(ic["in_c"], [ir.idx, ic.idx], sfin)
     ic.returns(i2_)
     (i3,) = ic.end()

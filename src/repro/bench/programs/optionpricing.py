@@ -14,9 +14,18 @@ Two kernels:
 1. ``paths = map (p < npaths) { local draws -> local path -> path }`` --
    the per-thread path vector short-circuits into the paths matrix
    (mapnest implicit circuit point);
-2. ``payoffs = map (p < npaths) { reduce over dates }`` then a sum
-   reduction -- the pricing step, unaffected by the optimization, which
-   dilutes the impact to the paper's modest 1.03-1.21x (table V).
+2. ``spots = map (p) { map (d) { S0 * exp(sigma * path) } }`` -- the
+   spot grid, staged as its own batched rank-2 kernel feeding *two*
+   pricing consumers;
+3. ``payoffs = map (p < npaths) { reduce over dates }`` twice -- once
+   for the call leg and once for the put leg (a put-call pair priced
+   off the same spot grid) -- then sum reductions.  Mapnest fusion
+   duplicates the cheap spot computation into both consumers (one
+   ``FusedRecord`` each, ``duplicated=True`` on the second), so the
+   full [npaths][ndates] spot matrix is never materialized; the
+   pricing step itself is unaffected by short-circuiting, which
+   dilutes that pass's impact to the paper's modest 1.03-1.21x
+   (table V).
 """
 
 from __future__ import annotations
@@ -71,13 +80,25 @@ def build() -> Fun:
     mp.returns(path)
     (paths,) = mp.end()
 
-    # Kernel 2: price each path (average of date payoffs).
+    # Kernel 2: the spot grid, a batched rank-2 producer read by both
+    # pricing legs below.  The body is cheap (one exp), so fusion
+    # duplicates it into each consumer instead of materializing the
+    # [npaths][ndates] matrix; fuse=False pays its write plus two reads.
+    sp = bld.map_(npaths, index="sp")
+    sr = sp.map_(ndates, index="sd")
+    bval = sr.index(paths, [sp.idx, sr.idx])
+    sv = sr.binop("*", S0, sr.unop("exp", sr.binop("*", bval, SIGMA)))
+    sr.returns(sv)
+    (sprow,) = sr.end()
+    sp.returns(sprow)
+    (spots,) = sp.end()
+
+    # Kernel 3a: call leg (average of date payoffs per path).
     pm = bld.map_(npaths, index="p")
     pp = pm.idx
     acc0 = pm.lit(0.0, "f32")
     pl = pm.loop(count=ndates, carried=[("acc", acc0)], index="d")
-    bval = pl.index(paths, [pp, pl.idx])
-    spot = pl.binop("*", S0, pl.unop("exp", pl.binop("*", bval, SIGMA)))
+    spot = pl.index(spots, [pp, pl.idx])
     pay = pl.binop("max", pl.binop("-", spot, STRIKE), 0.0)
     acc2 = pl.binop("+", pl["acc"], pay)
     pl.returns(acc2)
@@ -86,13 +107,28 @@ def build() -> Fun:
     pm.returns(avg)
     (payoffs,) = pm.end()
 
+    # Kernel 3b: put leg off the same spot grid.
+    qm = bld.map_(npaths, index="p2")
+    qp = qm.idx
+    qacc0 = qm.lit(0.0, "f32")
+    ql = qm.loop(count=ndates, carried=[("qacc", qacc0)], index="d2")
+    spot2 = ql.index(spots, [qp, ql.idx])
+    qpay = ql.binop("max", ql.binop("-", STRIKE, spot2), 0.0)
+    qacc2 = ql.binop("+", ql["qacc"], qpay)
+    ql.returns(qacc2)
+    (qtotal,) = ql.end()
+    qavg = qm.binop("/", qtotal, qm.unop("f32", qm.scalar(ndates)))
+    qm.returns(qavg)
+    (put_payoffs,) = qm.end()
+
     price = bld.reduce("+", payoffs)
-    bld.returns(price)
+    put_price = bld.reduce("+", put_payoffs)
+    bld.returns(price, put_price)
     return bld.build()
 
 
 # ----------------------------------------------------------------------
-def reference(npathsv: int, ndatesv: int) -> float:
+def reference(npathsv: int, ndatesv: int) -> Tuple[float, float]:
     p = np.arange(npathsv, dtype=np.int64)[:, None]
     d = np.arange(ndatesv, dtype=np.int64)[None, :]
     h = (p * 2654435761 + d * 40503 + 12345) % 65536
@@ -102,8 +138,12 @@ def reference(npathsv: int, ndatesv: int) -> float:
     for k in range(1, ndatesv):
         paths[:, k] = paths[:, k - 1] * np.float32(AR) + z[:, k] * np.float32(SC)
     spot = np.float32(S0) * np.exp(paths * np.float32(SIGMA))
-    pay = np.maximum(spot - np.float32(STRIKE), 0).astype(np.float32)
-    return float(pay.mean(axis=1, dtype=np.float32).sum(dtype=np.float32))
+    call = np.maximum(spot - np.float32(STRIKE), 0).astype(np.float32)
+    put = np.maximum(np.float32(STRIKE) - spot, 0).astype(np.float32)
+    return (
+        float(call.mean(axis=1, dtype=np.float32).sum(dtype=np.float32)),
+        float(put.mean(axis=1, dtype=np.float32).sum(dtype=np.float32)),
+    )
 
 
 def inputs_for(npathsv: int, ndatesv: int) -> Dict[str, object]:
@@ -125,7 +165,7 @@ TEST_DATASETS: Dict[str, Tuple[int, int]] = {
 
 
 def ref_traffic(npathsv: int, ndatesv: int) -> Tuple[int, int]:
-    """Hand-written engine keeps paths in registers: write paths once,
-    read once for pricing."""
+    """Hand-written engine keeps paths in registers and prices both
+    legs in one pass: write paths once, read once for pricing."""
     elems = npathsv * ndatesv * 4
     return (elems, elems)

@@ -404,6 +404,25 @@ class FusedRecord:
     #: Memory blocks the original producer+consumer pair wrote (the
     #: fused kernel must write exactly these minus ``mem`` -- rule FU02).
     write_mems: Tuple[str, ...] = ()
+    #: Rank of the elided intermediate (1 for a plain map producer,
+    #: N for a fused rank-N mapnest).  ``width`` stays the total element
+    #: count regardless of rank, so the accounting formula is rank-blind.
+    rank: int = 1
+    #: True on every record except one per (producer, mem) group: a
+    #: multi-consumer producer is *duplicated* into each consumer, and
+    #: only the primary record claims the elided write (rule FU03).
+    duplicated: bool = False
+    #: Statement count of the inlined producer body -- the recomputation
+    #: cost the duplication cost model accepted.
+    recompute_stmts: int = 0
+    #: 1 for a direct fusion; 1 + the producer's own deepest record for
+    #: a chain (A fused into B, then B fused into C carries depth 2).
+    chain_depth: int = 1
+    #: Canonical (alpha-renamed) hash of the producer body as actually
+    #: spliced at each read site, computed by the pass at inline time.
+    #: Rule FU03 requires every hash in a (producer, mem) group to agree:
+    #: duplicated bodies must be bit-equivalent at every site.
+    site_hashes: Tuple[str, ...] = ()
 
 
 @dataclass

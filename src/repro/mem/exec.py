@@ -798,8 +798,13 @@ class MemExecutor:
                 except (InterpError, KeyError):
                     continue  # width not host-evaluable: count fusion only
                 # The elided round trip: the producer's write of the
-                # intermediate plus the consumer's read of it.
-                self.stats.bytes_elided_fusion += 2 * n * rec.elem_bytes
+                # intermediate plus the consumer's read of it.  A
+                # duplicated record (multi-consumer fusion) claims only
+                # its own elided read -- the write is claimed once, by
+                # the primary record, so the total over a (producer,
+                # mem) group is (1 write + k reads) * n, never more.
+                per_elem = (1 if rec.duplicated else 2) * rec.elem_bytes
+                self.stats.bytes_elided_fusion += per_elem * n
             self._kernel_baseline = self._live_bytes
             self._kernel_allocs = []
 

@@ -18,6 +18,7 @@ short-circuiting re-homes arrays into their destination memory.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Set
 
 from repro.ir import ast as A
@@ -103,14 +104,12 @@ def rewrite_mem_bindings(fun: A.Fun, mapping: Dict[str, str]) -> int:
         ):
             # Fusion provenance names memory blocks too (the verifier's
             # FU rules compare them against live bindings) and must track
-            # coalescing renames like any binding.
+            # coalescing renames like any binding.  Only the block names
+            # change; duplication/chain/hash provenance rides along.
             stmt.fused = tuple(
-                A.FusedRecord(
-                    producer=r.producer,
+                replace(
+                    r,
                     mem=resolve(r.mem),
-                    width=r.width,
-                    elem_bytes=r.elem_bytes,
-                    reads=r.reads,
                     write_mems=tuple(resolve(m) for m in r.write_mems),
                 )
                 for r in stmt.fused

@@ -236,6 +236,8 @@ class FusePass(Pass):
             attempted=st.attempted,
             committed=st.committed,
             rounds=st.rounds,
+            duplicated=st.duplicated,
+            chained=st.chained,
             **_pool_detail(ctx, st.tiers),
         )
         rec.rejections = dict(st.failures)

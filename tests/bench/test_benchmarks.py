@@ -26,11 +26,13 @@ BENCH = all_benchmarks()
 #: extra commits are widened-slice recoveries and lud's ninth is a
 #: cross-iteration proof -- all decided by the polyhedral fallback tier.
 EXPECTED_SC = {
-    "nw": 4,
-    "lud": 9,
-    "hotspot": 7,
-    "lbm": 1,
-    "optionpricing": 1,
+    # The staged fusion producers (README "Kernel fusion") add their own
+    # short-circuit sites on top of each benchmark's classic kernels.
+    "nw": 6,
+    "lud": 15,
+    "hotspot": 8,
+    "lbm": 2,
+    "optionpricing": 2,
     "locvolcalib": 3,
     "nn": 0,  # NN's win is the dead-copy reuse, counted separately
 }
@@ -111,7 +113,7 @@ def test_nw_requires_dimension_splitting():
 
     fun = BENCH["nw"].build()
     weak = compile_fun(fun, enable_splitting=False)
-    assert weak.sc_stats.committed == 4, weak.sc_stats.summary()
+    assert weak.sc_stats.committed == 6, weak.sc_stats.summary()
     assert weak.sc_stats.tiers.get("structural", 0) == 0, (
         weak.sc_stats.summary()
     )

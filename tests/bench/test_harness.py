@@ -50,7 +50,7 @@ class TestReport:
         assert isinstance(rep, BenchReport)
         assert len(rep.rows) == 2  # one per device
         assert {r.device for r in rep.rows} == {"A100", "MI100"}
-        assert rep.sc_committed == 7
+        assert rep.sc_committed == 8
 
     def test_render_contains_all_columns(self):
         rep = BenchReport("x", rows=[Row("A100", "d", 1.0, 0.5, 1.0, 2.0)])
@@ -69,8 +69,37 @@ class TestFusionDifferential:
         assert out["ok"]
 
     def test_measure_fusion_without_candidates(self):
-        # NW has no two-stage map pipeline: traffic must be *identical*.
-        out = measure_fusion(nw, nw.TEST_DATASETS["tiny"])
+        # Every real benchmark is now staged to fuse, so the
+        # nothing-to-fuse contract (traffic must be *identical*) is
+        # checked on a stub module with a single map and no intermediate.
+        import types
+
+        import numpy as np
+
+        from repro.ir import FunBuilder, f32
+        from repro.symbolic import Var
+
+        nv = Var("n")
+
+        def build():
+            b = FunBuilder("plain")
+            b.size_param("n")
+            xs = b.param("xs", f32(nv))
+            mp = b.map_(nv, index="i")
+            mp.returns(mp.binop("+", mp.index(xs, [mp.idx]), 1.0))
+            (out,) = mp.end()
+            b.returns(out)
+            return b.build()
+
+        stub = types.SimpleNamespace(
+            build=build,
+            inputs_for=lambda k: {
+                "n": k,
+                "xs": np.arange(k, dtype=np.float32),
+            },
+            dry_inputs_for=lambda k: {"n": k},
+        )
+        out = measure_fusion(stub, (16,))
         assert out["committed"] == 0
         assert out["fused_traffic"] == out["unfused_traffic"]
         assert out["ok"]

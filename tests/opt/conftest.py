@@ -66,6 +66,71 @@ def random_two_stage_pipeline(rng: np.random.RandomState) -> Fun:
     return b.build()
 
 
+def random_mapnest_pipeline(rng: np.random.RandomState) -> Fun:
+    """A random rank-2 mapnest producer feeding 1-2 consumer mapnests.
+
+    The producer is a perfect ``[n][n]`` nest computing 1-3 random
+    scalar ops over ``xs[i*n + k]``; each consumer is itself a rank-2
+    nest reading ``inter[r, c]`` where each coordinate is independently
+    pointwise (``j``) or reflected (``n-1-j``) -- in range either way,
+    so the per-dimension coverage proofs must all discharge.  Half the
+    corpus has a *second* consumer, exercising fusion by duplication
+    (the producer body stays under ``DUP_COST_LIMIT`` by construction);
+    a third of consumer bodies read the intermediate at two sites.
+    """
+    b = FunBuilder("pipe2")
+    b.size_param("n")
+    xs = b.param("xs", f32(n * n))
+    # Strides of the rank-2 intermediate are multiples of n: the
+    # structural injectivity/race provers need n >= 1 to normalize them
+    # (every benchmark program declares the same kind of bound).
+    b.assume_lower("n", 1)
+
+    mp = b.map_(n, index="i")
+    inner = mp.map_(n, index="k")
+    v = inner.index(xs, [mp.idx * n + inner.idx])
+    for _ in range(rng.randint(1, 4)):
+        if rng.rand() < 0.25:
+            v = inner.unop(UNOPS[rng.randint(len(UNOPS))], v)
+        else:
+            c = float(rng.randint(-3, 4))
+            v = inner.binop(BINOPS[rng.randint(len(BINOPS))], v, c)
+    inner.returns(v)
+    (row,) = inner.end()
+    mp.returns(row)
+    (inter,) = mp.end()
+
+    n_consumers = 2 if rng.rand() < 0.5 else 1
+    outs = []
+    for ci in range(n_consumers):
+        mc = b.map_(n, index=f"j{ci}")
+        md = mc.map_(n, index=f"l{ci}")
+
+        def site():
+            r = [mc.idx, n - 1 - mc.idx][rng.randint(2)]
+            c = [md.idx, n - 1 - md.idx][rng.randint(2)]
+            return md.index(inter, [r, c])
+
+        w = site()
+        if rng.rand() < 0.33:  # a second read site of the intermediate
+            w = md.binop(BINOPS[rng.randint(len(BINOPS))], w, site())
+        for _ in range(rng.randint(1, 3)):
+            c = float(rng.randint(-3, 4))
+            w = md.binop(BINOPS[rng.randint(len(BINOPS))], w, c)
+        md.returns(w)
+        (orow,) = md.end()
+        mc.returns(orow)
+        (out,) = mc.end()
+        outs.append(out)
+    b.returns(*outs)
+    return b.build()
+
+
 @pytest.fixture
 def gen_pipeline():
     return random_two_stage_pipeline
+
+
+@pytest.fixture
+def gen_mapnest_pipeline():
+    return random_mapnest_pipeline

@@ -79,6 +79,45 @@ def test_fusion_preserves_outputs_on_random_pipelines(seed, gen_pipeline):
     assert dry_f.bytes_total < dry_u.bytes_total
 
 
+@pytest.mark.parametrize("seed", range(30))
+def test_mapnest_fusion_preserves_outputs_on_random_dags(
+    seed, gen_mapnest_pipeline
+):
+    """Rank-2 producers, 1-2 consumers: four-way bit equality + verifier.
+
+    The four-way grid is (fused | unfused) x (interpreted | vectorized);
+    every cell must agree bitwise on every output, the verifier (incl.
+    FU03's per-site hash audit) must pass on the fused program, and the
+    simulated traffic must strictly drop.
+    """
+    rng = np.random.RandomState(seed)
+    fun = gen_mapnest_pipeline(rng)
+    n_outs = len(fun.body.result)
+    xs = rng.randn(N * N).astype(np.float32)
+
+    fused = compile_fun(fun, verify=True)
+    unfused = compile_fun(fun, fuse=False)
+    assert fused.fuse_stats.committed == 1, fused.fuse_stats.summary()
+    assert fused.fuse_stats.duplicated == n_outs - 1
+    assert all(r.ok for r in fused.verify_reports.values())
+
+    outs = {}
+    for label, cf in (("fused", fused), ("unfused", unfused)):
+        for vec in (False, True):
+            ex = MemExecutor(cf.fun, vectorize=vec)
+            vals, _ = ex.run(n=N, xs=xs.copy())
+            outs[(label, vec)] = [_gather(ex, v) for v in vals]
+    for vec in (False, True):
+        for a, b in zip(outs[("fused", vec)], outs[("unfused", vec)]):
+            assert np.array_equal(a, b)
+    for a, b in zip(outs[("fused", False)], outs[("fused", True)]):
+        assert np.array_equal(a, b)
+
+    _, dry_f = MemExecutor(fused.fun, mode="dry").run(n=16)
+    _, dry_u = MemExecutor(unfused.fun, mode="dry").run(n=16)
+    assert dry_f.bytes_total < dry_u.bytes_total
+
+
 def test_fused_body_still_vectorizes():
     cf = compile_fun(_simple_pipeline())
     assert cf.fuse_stats.committed == 1
@@ -130,7 +169,8 @@ def test_escaping_intermediate_is_rejected():
     _expect_rejected(b.build(), "escapes-block-result")
 
 
-def test_multi_use_intermediate_is_rejected():
+def test_multi_consumer_intermediate_fuses_by_duplication():
+    """Two cheap-map consumers: the producer body is duplicated into both."""
     b = FunBuilder("multiuse")
     b.size_param("n")
     xs = b.param("xs", f32(n))
@@ -143,6 +183,60 @@ def test_multi_use_intermediate_is_rejected():
         mc.returns(mc.binop("+", mc.index(inter, [mc.idx]), c))
         outs.append(mc.end()[0])
     b.returns(*outs)
+    cf = compile_fun(b.build(), verify=True)
+    assert cf.fuse_stats.committed == 1, cf.fuse_stats.summary()
+    assert all(r.ok for r in cf.verify_reports.values())
+    recs = [
+        rec
+        for stmt in cf.fun.body.stmts
+        for rec in stmt.fused
+    ]
+    assert len(recs) == 2
+    assert sorted(r.duplicated for r in recs) == [False, True]
+    assert all(r.site_hashes for r in recs)
+    assert len({h for r in recs for h in r.site_hashes}) == 1
+
+    xs_v = np.arange(6, dtype=np.float32)
+    ex = MemExecutor(cf.fun)
+    (o1, o2), stats = ex.run(n=6, xs=xs_v.copy())
+    assert np.array_equal(_gather(ex, o1), xs_v * 2.0 + 1.0)
+    assert np.array_equal(_gather(ex, o2), xs_v * 2.0 + 2.0)
+    # 1 elided write + 2 elided reads of the [6]f32 intermediate: 3*24.
+    assert stats.bytes_elided_fusion == 3 * 6 * 4
+
+
+def test_expensive_multi_consumer_body_is_rejected():
+    """Duplication is gated by the recompute cost model."""
+    b = FunBuilder("costly")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    mp = b.map_(n, index="i")
+    v = mp.index(xs, [mp.idx])
+    for _ in range(20):  # > DUP_COST_LIMIT statements
+        v = mp.binop("+", v, 1.0)
+    mp.returns(v)
+    (inter,) = mp.end()
+    outs = []
+    for j, c in (("j", 1.0), ("k", 2.0)):
+        mc = b.map_(n, index=j)
+        mc.returns(mc.binop("+", mc.index(inter, [mc.idx]), c))
+        outs.append(mc.end()[0])
+    b.returns(*outs)
+    _expect_rejected(b.build(), "dup-too-costly")
+
+
+def test_non_map_second_consumer_is_rejected():
+    """A copy among the consumers blocks duplication (multi-use)."""
+    b = FunBuilder("mixeduse")
+    b.size_param("n")
+    xs = b.param("xs", f32(n))
+    mp = b.map_(n, index="i")
+    mp.returns(mp.binop("*", mp.index(xs, [mp.idx]), 2.0))
+    (inter,) = mp.end()
+    mc = b.map_(n, index="j")
+    mc.returns(mc.binop("+", mc.index(inter, [mc.idx]), 1.0))
+    (out,) = mc.end()
+    b.returns(out, b.copy(inter))
     _expect_rejected(b.build(), "multi-use")
 
 
