@@ -104,6 +104,16 @@ RULES = {
         "fusion changed what the pair writes, or a later pass re-homed "
         "the consumer without rewriting the FusedRecord",
     ),
+    "MS01": (
+        "allocation does not fit its memory space's capacity",
+        "placement chose a bounded on-chip space for a block that only "
+        "fits in DRAM",
+    ),
+    "MS02": (
+        "binding's space tag disagrees with its block's declared space",
+        "a rebase or merge crossed memory spaces without re-tagging "
+        "(coalescing must reject cross-space donors)",
+    ),
 }
 
 

@@ -45,12 +45,18 @@ from repro.ir.types import ArrayType, DTYPE_INFO
 from repro.mem.memir import binding_of
 
 #: Counter slots per site: [entered, bytes_read, bytes_written, flops,
-#: elided_copies, elided_bytes].
-SLOTS = 6
+#: elided_copies, elided_bytes, scratch_read, scratch_written,
+#: regs_read, regs_written].  The space slots (6-9) attribute the part
+#: of slots 1/2 that touched a non-HBM memory space (repro.mem.spaces);
+#: they are duplicates of, not additions to, the totals.
+SLOTS = 10
+
+#: Read/write slot pair per non-HBM space.
+SPACE_SLOTS = {"scratch": (6, 7), "regs": (8, 9)}
 
 #: Bump when the emitted ABI or counter layout changes (part of the
 #: on-disk cache key).
-ABI_VERSION = 1
+ABI_VERSION = 2
 
 _CTYPE = {"i64": "long long", "f32": "float", "f64": "double", "bool": "char"}
 
@@ -197,6 +203,8 @@ class _Emitter:
         self.int_dirs: List[tuple] = []
         self.flt_dirs: List[tuple] = []
         self.buf_dirs: List[tuple] = []
+        #: Memory space per buffer slot, parallel to ``buf_dirs``.
+        self.buf_space: List[str] = []
         self.alloc_sites: List[tuple] = []
         self.sites: List[tuple] = []
         self._int_slots: Dict[tuple, object] = {}
@@ -251,6 +259,29 @@ class _Emitter:
 
     def charge(self, site: int, slot: int, expr: str) -> None:
         self.emit(f"C[{site * SLOTS + slot}] += {expr};")
+
+    def _space_slot(self, mem: MemObj, write: bool) -> Optional[int]:
+        """Extra counter slot when ``mem`` lives in a non-HBM space."""
+        pair = SPACE_SLOTS.get(self.buf_space[mem.buf])
+        if pair is None:
+            return None
+        return pair[1] if write else pair[0]
+
+    def pend_rw(self, site: int, mem: MemObj, write: bool, n: int) -> None:
+        """Constant-sized read/write charge with space attribution."""
+        self.pend(site, 2 if write else 1, n)
+        extra = self._space_slot(mem, write)
+        if extra is not None:
+            self.pend(site, extra, n)
+
+    def charge_rw(
+        self, site: int, mem: MemObj, write: bool, expr: str
+    ) -> None:
+        """Expression-sized read/write charge with space attribution."""
+        self.charge(site, 2 if write else 1, expr)
+        extra = self._space_slot(mem, write)
+        if extra is not None:
+            self.charge(site, extra, expr)
 
     def check_scope(self, *ids: int) -> None:
         for s in ids:
@@ -324,6 +355,7 @@ class _Emitter:
         if ent is None:
             bslot = len(self.buf_dirs)
             self.buf_dirs.append(("arr", source))
+            self.buf_space.append(self.ex._space_of(ra.mem))
             base = self._int_width
             self._int_width += sum(1 + 2 * r for r in ranks)
             self.int_dirs.append(("arrcomp", source, ranks, ra.dtype))
@@ -352,6 +384,12 @@ class _Emitter:
         if slot is None:
             slot = len(self.buf_dirs)
             self.buf_dirs.append(("mem", name))
+            try:
+                resolved = self.ex._resolve_mem(name, self.env)
+                space = self.ex._space_of(resolved)
+            except Exception:
+                space = "hbm"
+            self.buf_space.append(space)
             self._buf_slots[key] = slot
         return slot
 
@@ -706,7 +744,7 @@ class _Emitter:
             dest = self.view_from_binding(stmt.pattern[0], scope, memenv)
             if not isinstance(exp, A.Scratch):
                 sz = self.size_c(dest)
-                self.charge(site, 2, f"{sz}*{dest.itemsize}")
+                self.charge_rw(site, dest.mem, True, f"{sz}*{dest.itemsize}")
                 if isinstance(exp, A.Iota):
                     val = None
                 else:
@@ -764,7 +802,7 @@ class _Emitter:
         if isinstance(exp, A.Index):
             src = self.array_value(exp.src, scope, memenv)
             idx = [self.sym_c(i, scope) for i in exp.indices]
-            self.pend(site, 1, src.itemsize)
+            self.pend_rw(site, src.mem, False, src.itemsize)
             off = self.point_offset(src, idx)
             n = self.fresh()
             self.emit(f"{_CTYPE[src.dtype]} {n} = {self.addr(src, off)};")
@@ -843,8 +881,8 @@ class _Emitter:
             self._copy_body(src, dst, dsz, snb, dnb, site)
 
     def _copy_body(self, src, dst, dsz, snb, dnb, site) -> None:
-        self.charge(site, 1, snb)
-        self.charge(site, 2, dnb)
+        self.charge_rw(site, src.mem, False, snb)
+        self.charge_rw(site, dst.mem, True, dnb)
         ev = self.fresh("e")
         self.open_block(f"for (long long {ev} = 0; {ev} < {dsz}; {ev}++)")
         soff = self.elem_offset(src, ev)
@@ -868,8 +906,10 @@ class _Emitter:
         site_idx = len(self.alloc_sites)
         bslot = len(self.buf_dirs)
         self.buf_dirs.append(("alloc", site_idx))
+        self.buf_space.append(exp.space)
         self.alloc_sites.append(
-            (name, exp.size, tuple(e[2] for e in counts), exp.dtype)
+            (name, exp.size, tuple(e[2] for e in counts), exp.dtype,
+             exp.space)
         )
         # Linearized slot: thread index, then enclosing iteration indices
         # (one disjoint slot per dynamic execution, emulating the
@@ -888,7 +928,7 @@ class _Emitter:
         spec = exp.spec
         if isinstance(spec, A.PointSpec):
             idx = [self.sym_c(i, scope) for i in spec.indices]
-            self.pend(site, 2, result.itemsize)
+            self.pend_rw(site, result.mem, True, result.itemsize)
             off = self.point_offset(result, idx)
             val = self.operand(exp.value, scope)
             self.emit(
@@ -963,7 +1003,7 @@ class _Emitter:
             if isinstance(val, CArr):
                 self.emit_copy(val, region, site)
             elif isinstance(val, SVal):
-                self.pend(site, 2, dest.itemsize)
+                self.pend_rw(site, dest.mem, True, dest.itemsize)
                 off = self.point_offset(
                     region, ["0LL"] * region.inner.rank
                 )

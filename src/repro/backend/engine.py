@@ -137,18 +137,20 @@ class NativeEngine:
             elif tag == "mem":
                 bufs[i] = self._buffer(ex, d[1], env)
             else:  # ("alloc", site_idx)
-                name, size_sym, count_syms, dtype = spec.alloc_sites[d[1]]
+                name, size_sym, count_syms, dtype, space = (
+                    spec.alloc_sites[d[1]]
+                )
                 size = _eval_int(size_sym, env)
                 total = 1
                 for cs in count_syms:
                     total *= _eval_int(cs, env)
-                allocs.append((i, name, size, total, dtype))
+                allocs.append((i, name, size, total, dtype, space))
 
         # Commit point: allocate the per-site backing blocks with the
         # interpreter's exact accounting (one fresh zeroed block per
         # site holding all per-execution slots; freed wholesale when the
         # outermost map ends, via the kernel-alloc log).
-        for i, name, size, total, dtype in allocs:
+        for i, name, size, total, dtype, space in allocs:
             buf = np.zeros(total * size, dtype=DTYPE_INFO[dtype][0])
             ex._alloc_counter += 1
             unique = f"{name}@{ex._alloc_counter}"
@@ -156,7 +158,7 @@ class NativeEngine:
             nbytes = total * size * DTYPE_INFO[dtype][1]
             ex.stats.alloc_count += total
             ex.stats.alloc_bytes += nbytes
-            ex._note_alloc(name, unique, nbytes)
+            ex._note_alloc(name, unique, nbytes, space)
             bufs[i] = buf
 
         counters = np.zeros(len(spec.sites) * SLOTS, dtype=np.int64)
@@ -178,7 +180,7 @@ class NativeEngine:
         # their stat only if the statement actually executed (entered >
         # 0), matching the interpreter's per-execution registry.
         for si, (sstmt, kind, label) in enumerate(spec.sites):
-            ent, br, bw, fl, elc, elb = (
+            ent, br, bw, fl, elc, elb, scr, scw, rgr, rgw = (
                 int(x) for x in counters[si * SLOTS:(si + 1) * SLOTS]
             )
             if si == 0:
@@ -190,6 +192,15 @@ class NativeEngine:
             ks.bytes_read += br
             ks.bytes_written += bw
             ks.flops += fl
+            # Space slots duplicate the part of br/bw that touched a
+            # non-HBM space (see cemit.SPACE_SLOTS).
+            for sp, rd, wr in (("scratch", scr, scw), ("regs", rgr, rgw)):
+                if rd:
+                    ks.space_read[sp] = ks.space_read.get(sp, 0) + rd
+                if wr:
+                    ks.space_written[sp] = (
+                        ks.space_written.get(sp, 0) + wr
+                    )
             ex.stats.elided_copies += elc
             ex.stats.elided_bytes += elb
 

@@ -9,7 +9,12 @@
                                           # written to benchmarks/results/
     python -m repro.bench nw --explain    # per-pass pipeline trace
                                           # (timings, IR deltas,
-                                          # rejection diagnostics)
+                                          # rejection diagnostics,
+                                          # per-space peaks)
+    python -m repro.bench --devices 2     # shard hotspot/lbm/nw across
+                                          # two simulated devices: halo
+                                          # traffic + scaling efficiency
+    python -m repro.bench --json --out p  # write the JSON report to p
     python -m repro.bench --list          # available benchmarks
 """
 
@@ -71,6 +76,20 @@ SERVE_BASELINE = Path("benchmarks") / "results" / "serve_baseline.json"
 #: Regenerate with ``python -m repro.bench --write-native-baseline``.
 NATIVE_BASELINE = Path("benchmarks") / "results" / "native_baseline.json"
 
+#: Committed reference for the sharding regression gate: CI fails when a
+#: sharded benchmark's 2-device run stops producing bit-identical output,
+#: stops exchanging halos, or its scaling efficiency falls below the
+#: recorded value.  The simulation is deterministic, so only a small
+#: slack (0.02) absorbs cost-model retuning.  Regenerate with
+#: ``python -m repro.bench --write-shard-baseline``.
+SHARD_BASELINE = Path("benchmarks") / "results" / "shard_baseline.json"
+
+#: Datasets for the sharding simulation.  Chosen so the per-device slabs
+#: stay interesting (nonzero halo traffic, efficiency well away from
+#: both 0 and 1) while the wavefront benchmarks finish in under a
+#: second -- NW's diagonal sweep at the PERF size takes half a minute.
+SHARD_DATASETS = {"hotspot": (256, 3), "lbm": (128, 4), "nw": (8, 16)}
+
 
 def _prover_tiers(opt) -> dict:
     """Deciding-tier tallies summed over the optimized compile's passes."""
@@ -107,6 +126,13 @@ def main(argv=None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="measure executor tiers and write a "
                              "benchmarks/results/BENCH_<ts>.json report")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the --json report to PATH instead of "
+                             "benchmarks/results/BENCH_<ts>.json")
+    parser.add_argument("--devices", type=int, default=1, metavar="N",
+                        help="simulate the sharded benchmarks (hotspot, "
+                             "lbm, nw) split across N devices and report "
+                             "halo traffic and scaling efficiency")
     parser.add_argument("--explain", action="store_true",
                         help="print each benchmark's optimized-pipeline "
                              "trace: per-pass timings, IR size/alloc "
@@ -127,6 +153,10 @@ def main(argv=None) -> int:
                         help="record current serving metrics as the "
                              "regression baseline "
                              "(benchmarks/results/serve_baseline.json)")
+    parser.add_argument("--write-shard-baseline", action="store_true",
+                        help="record current 2-device scaling efficiency "
+                             "and halo traffic as the regression baseline "
+                             "(benchmarks/results/shard_baseline.json)")
     parser.add_argument("--write-native-baseline", action="store_true",
                         help="record per-benchmark native-tier coverage "
                              "and wall-clock wins as the regression "
@@ -181,6 +211,10 @@ def main(argv=None) -> int:
     native_baseline = {}
     if NATIVE_BASELINE.exists():
         native_baseline = json.loads(NATIVE_BASELINE.read_text())
+    shard_failed = []
+    shard_baseline = {}
+    if SHARD_BASELINE.exists():
+        shard_baseline = json.loads(SHARD_BASELINE.read_text())
     native_wins = 0
     native_measured = 0
     results = {}
@@ -246,6 +280,13 @@ def main(argv=None) -> int:
         print(f"footprint (opt): peak {opt_fp['peak_bytes']:,} / "
               f"naive {opt_fp['naive_bytes']:,} bytes "
               f"({opt_fp['saving']:.0%} saved)")
+        if args.explain:
+            for label in ("unopt", "opt"):
+                peaks = footprint[label].get("space_peaks") or {}
+                per_space = "  ".join(
+                    f"{sp} {peaks[sp]:,}" for sp in sorted(peaks)
+                )
+                print(f"  space peaks ({label}): {per_space or 'hbm 0'}")
         recorded = baseline.get(name, {}).get("opt_peak_bytes")
         if recorded is not None and opt_fp["peak_bytes"] > recorded:
             print(f"FOOTPRINT REGRESSION: peak {opt_fp['peak_bytes']:,} "
@@ -413,6 +454,59 @@ def main(argv=None) -> int:
         }
         print()
 
+    shard_results = {}
+    if args.devices > 1 or args.write_shard_baseline:
+        from repro.shard import scaling_report
+
+        devices = args.devices if args.devices > 1 else 2
+        for name in names:
+            if name not in SHARD_DATASETS:
+                continue
+            dataset = SHARD_DATASETS[name]
+            t0 = time.perf_counter()
+            rep = scaling_report(name, dataset, devices)
+            rep["wall_s"] = time.perf_counter() - t0
+            shard_results[name] = rep
+            print(f"shard ({name} x{devices}): "
+                  f"identical {rep['outputs_identical']}  "
+                  f"halo {rep['halo_bytes']:,} bytes / "
+                  f"{rep['halo_exchanges']} exchanges  "
+                  f"efficiency {rep['efficiency']:.3f} "
+                  f"(speedup {rep['speedup']:.2f}x over 1 device)")
+            if not rep["outputs_identical"]:
+                print(f"SHARD DIFFERENTIAL FAILED: {name} x{devices} "
+                      f"output differs from the 1-device run",
+                      file=sys.stderr)
+                shard_failed.append(name)
+            elif rep["halo_bytes"] <= 0:
+                print(f"SHARD HALO CHECK FAILED: {name} x{devices} "
+                      f"exchanged no cross-device bytes", file=sys.stderr)
+                shard_failed.append(name)
+            rec = shard_baseline.get(name)
+            if rec is not None and devices == rec.get("devices"):
+                # Deterministic simulation: 0.02 slack only absorbs
+                # deliberate cost-model retuning, not lost overlap.
+                if rep["efficiency"] < rec["efficiency"] - 0.02:
+                    print(f"SHARD SCALING REGRESSION: {name} efficiency "
+                          f"{rep['efficiency']:.3f} below baseline "
+                          f"{rec['efficiency']:.3f}", file=sys.stderr)
+                    shard_failed.append(name)
+
+    if args.write_shard_baseline:
+        SHARD_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            name: {
+                "dataset": shard_results[name]["dataset"],
+                "devices": shard_results[name]["devices"],
+                "halo_bytes": shard_results[name]["halo_bytes"],
+                "halo_exchanges": shard_results[name]["halo_exchanges"],
+                "efficiency": round(shard_results[name]["efficiency"], 4),
+            }
+            for name in shard_results
+        }
+        SHARD_BASELINE.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {SHARD_BASELINE}")
+
     if args.write_footprint_baseline:
         FOOTPRINT_BASELINE.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -486,14 +580,20 @@ def main(argv=None) -> int:
 
     if args.json:
         ts = time.strftime("%Y%m%d-%H%M%S")
-        out_dir = Path("benchmarks") / "results"
-        out_dir.mkdir(parents=True, exist_ok=True)
-        out_path = out_dir / f"BENCH_{ts}.json"
+        if args.out:
+            out_path = Path(args.out)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        else:
+            out_dir = Path("benchmarks") / "results"
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / f"BENCH_{ts}.json"
         payload = {
             "timestamp": ts,
             "quick": args.quick,
             "benchmarks": results,
         }
+        if shard_results:
+            payload["sharding"] = shard_results
         out_path.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {out_path}")
 
@@ -526,6 +626,10 @@ def main(argv=None) -> int:
         return 1
     if native_failed:
         print(f"NATIVE TIER REGRESSION: {', '.join(sorted(set(native_failed)))}",
+              file=sys.stderr)
+        return 1
+    if shard_failed:
+        print(f"SHARD CHECK FAILED: {', '.join(sorted(set(shard_failed)))}",
               file=sys.stderr)
         return 1
     rec_wins = native_baseline.get("_wins_over_vec")

@@ -42,7 +42,15 @@ class CostModel:
                 f * self.device.stream_bandwidth
                 + (1.0 - f) * self.device.strided_bandwidth
             )
-        mem_t = k.bytes_total / bw
+        # Memory spaces are parallel channels: DRAM and on-chip traffic
+        # overlap, so the memory time is the *max* over per-space times,
+        # not their sum.  All-HBM kernels reduce to the old bytes/bw.
+        hbm_bytes = k.read_in("hbm") + k.written_in("hbm")
+        mem_t = hbm_bytes / bw
+        for sp in set(k.space_read) | set(k.space_written):
+            sp_bytes = k.space_read.get(sp, 0) + k.space_written.get(sp, 0)
+            if sp_bytes:
+                mem_t = max(mem_t, sp_bytes / self.device.space_bandwidth(sp))
         flop_t = k.flops / self.device.effective_flops
         return max(mem_t, flop_t) + k.launches * self.device.launch_overhead
 

@@ -33,10 +33,30 @@ class Device:
     flop_efficiency: float
     #: Host-side kernel launch overhead, seconds.
     launch_overhead: float
+    #: On-chip scratch (shared-memory) aggregate bandwidth, as a multiple
+    #: of peak DRAM bandwidth.  Datasheet-order figures: ~19 TB/s shared
+    #: memory on A100 vs 1.55 TB/s HBM2e.
+    scratch_bandwidth_x: float = 12.0
+    #: Register-file aggregate bandwidth multiple (an order of magnitude
+    #: past shared memory; only ever a tie-breaker in the model).
+    regs_bandwidth_x: float = 48.0
 
     @property
     def stream_bandwidth(self) -> float:
         return self.peak_bandwidth * self.stream_efficiency
+
+    def space_bandwidth(self, space: str) -> float:
+        """Achievable bandwidth of one memory-space channel.
+
+        ``hbm`` uses the streaming figure; on-chip spaces are modelled as
+        fixed multiples of peak DRAM bandwidth (unknown spaces fall back
+        to the DRAM figure, a conservative choice).
+        """
+        if space == "scratch":
+            return self.peak_bandwidth * self.scratch_bandwidth_x
+        if space == "regs":
+            return self.peak_bandwidth * self.regs_bandwidth_x
+        return self.stream_bandwidth
 
     @property
     def strided_bandwidth(self) -> float:
@@ -56,6 +76,8 @@ A100 = Device(
     peak_flops=19.5e12,
     flop_efficiency=0.25,
     launch_overhead=4e-6,
+    scratch_bandwidth_x=12.0,
+    regs_bandwidth_x=48.0,
 )
 
 #: AMD MI100: 1228 GB/s HBM2, 23.1 TFLOP/s f32, ~8 us launches (HIP).
@@ -67,4 +89,6 @@ MI100 = Device(
     peak_flops=23.1e12,
     flop_efficiency=0.25,
     launch_overhead=8e-6,
+    scratch_bandwidth_x=9.0,
+    regs_bandwidth_x=40.0,
 )

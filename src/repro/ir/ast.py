@@ -370,10 +370,15 @@ class Alloc(Exp):
     """Allocate a memory block of ``size`` elements of ``dtype``.
 
     Only introduced by the memory pipeline; never written by frontends.
+    ``space`` names the memory tier the block lives in (``hbm`` /
+    ``scratch`` / ``regs``, see :mod:`repro.mem.spaces`); the alloc is
+    the source of truth that every binding's space must agree with
+    (verifier rule MS02).
     """
 
     size: SymExpr
     dtype: str
+    space: str = "hbm"
 
     def __post_init__(self):
         object.__setattr__(self, "size", sym(self.size))

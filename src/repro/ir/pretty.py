@@ -124,5 +124,6 @@ def _pretty_exp(exp: A.Exp) -> str:
     if isinstance(exp, A.ArgMin):
         return f"argmin {exp.src}"
     if isinstance(exp, A.Alloc):
-        return f"alloc ({exp.size} x {exp.dtype})"
+        tag = f" @ {exp.space}" if exp.space != "hbm" else ""
+        return f"alloc ({exp.size} x {exp.dtype}{tag})"
     return f"<{type(exp).__name__}>"

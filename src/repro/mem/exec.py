@@ -165,7 +165,15 @@ class MemExecutor:
         # unless the carried state still reaches them.
         self._live_bytes = 0
         self._peak_bytes = 0
-        self._live_insts: Dict[str, int] = {}  # unique name -> nbytes
+        # Per-space shadow of the live/peak counters (repro.mem.spaces):
+        # the totals above stay authoritative; these partition them.
+        self._live_by_space: Dict[str, int] = {}
+        self._peak_by_space: Dict[str, int] = {}
+        self._kernel_baseline_by_space: Dict[str, int] = {}
+        # unique (run-time) block name -> memory space; parameter blocks
+        # and anything absent default to "hbm".
+        self._mem_space: Dict[str, str] = {}
+        self._live_insts: Dict[str, Tuple[int, str]] = {}  # unique -> (nbytes, space)
         self._static_live: Dict[str, List[str]] = {}  # static -> uniques
         self._alloc_log: List[Tuple[str, str]] = []  # (static, unique)
         self._kernel_allocs: List[Tuple[str, str]] = []
@@ -216,6 +224,7 @@ class MemExecutor:
                 env[p.name] = inputs[p.name]
         values = self.run_block(self.fun.body, env)
         self.stats.peak_bytes = self._peak_bytes
+        self.stats.space_peak_bytes = dict(self._peak_by_space)
         return values, self.stats
 
     def _bind_input_array(self, p: A.Param, inputs, env) -> None:
@@ -256,9 +265,7 @@ class MemExecutor:
             size = eval_sym(t.size(), env)
             self.mem[mem] = size
         # Input blocks are live for the whole run (never freed).
-        self._live_bytes += size * DTYPE_INFO[t.dtype][1]
-        if self._live_bytes > self._peak_bytes:
-            self._peak_bytes = self._live_bytes
+        self._bump_live("hbm", size * DTYPE_INFO[t.dtype][1])
         ixfn = self._instantiate(IndexFn.row_major(t.shape), env)
         env[p.name] = RuntimeArray(mem, ixfn, t.dtype)
 
@@ -306,21 +313,35 @@ class MemExecutor:
     # ------------------------------------------------------------------
     # Footprint accounting
     # ------------------------------------------------------------------
-    def _note_alloc(self, static: str, unique: str, nbytes: int) -> None:
-        self._live_bytes += nbytes
+    def _bump_live(self, space: str, delta: int) -> None:
+        self._live_bytes += delta
         if self._live_bytes > self._peak_bytes:
             self._peak_bytes = self._live_bytes
-        self._live_insts[unique] = nbytes
+        live = self._live_by_space.get(space, 0) + delta
+        self._live_by_space[space] = live
+        if live > self._peak_by_space.get(space, 0):
+            self._peak_by_space[space] = live
+
+    def _space_of(self, mem: str) -> str:
+        return self._mem_space.get(mem, "hbm")
+
+    def _note_alloc(
+        self, static: str, unique: str, nbytes: int, space: str = "hbm"
+    ) -> None:
+        self._bump_live(space, nbytes)
+        self._mem_space[unique] = space
+        self._live_insts[unique] = (nbytes, space)
         self._static_live.setdefault(static, []).append(unique)
         self._alloc_log.append((static, unique))
         if self._kernel_stack:
             self._kernel_allocs.append((static, unique))
 
     def _note_free_unique(self, static: str, unique: str) -> None:
-        nbytes = self._live_insts.pop(unique, None)
-        if nbytes is None:
+        inst = self._live_insts.pop(unique, None)
+        if inst is None:
             return
-        self._live_bytes -= nbytes
+        nbytes, space = inst
+        self._bump_live(space, -nbytes)
         lst = self._static_live.get(static)
         if lst and unique in lst:
             lst.remove(unique)
@@ -439,15 +460,15 @@ class MemExecutor:
     def _current_kernel(self) -> Optional[KernelStat]:
         return self._kernel_stack[-1] if self._kernel_stack else None
 
-    def _count_read(self, nbytes: int) -> None:
+    def _count_read(self, nbytes: int, space: str = "hbm") -> None:
         ks = self._current_kernel()
         if ks is not None:
-            ks.bytes_read += nbytes
+            ks.note_read(nbytes, space)
 
-    def _count_write(self, nbytes: int) -> None:
+    def _count_write(self, nbytes: int, space: str = "hbm") -> None:
         ks = self._current_kernel()
         if ks is not None:
-            ks.bytes_written += nbytes
+            ks.note_written(nbytes, space)
 
     def _count_flop(self, n: int = 1) -> None:
         ks = self._current_kernel()
@@ -473,9 +494,9 @@ class MemExecutor:
             ks = self._kernel(stmt, kind, f"{kind}:{'/'.join(stmt.names)}")
             ks.launches += 1
         if src.mem not in self._local_mems:
-            ks.bytes_read += src.nbytes()
+            ks.note_read(src.nbytes(), self._space_of(src.mem))
         if dst.mem not in self._local_mems:
-            ks.bytes_written += dst.nbytes()
+            ks.note_written(dst.nbytes(), self._space_of(dst.mem))
         if self.mode == "real":
             offs = self._offsets(dst)
             if offs.size:
@@ -534,7 +555,9 @@ class MemExecutor:
             env[name] = MemRef(unique)
             self.stats.alloc_count += 1
             self.stats.alloc_bytes += size * DTYPE_INFO[exp.dtype][1]
-            self._note_alloc(name, unique, size * DTYPE_INFO[exp.dtype][1])
+            self._note_alloc(
+                name, unique, size * DTYPE_INFO[exp.dtype][1], exp.space
+            )
             return
 
         if isinstance(exp, (A.Lit, A.ScalarE, A.BinOp, A.UnOp)):
@@ -564,7 +587,7 @@ class MemExecutor:
                     ks.launches += 1
             if not isinstance(exp, A.Scratch):
                 if dest.mem not in self._local_mems:
-                    ks.bytes_written += dest.nbytes()
+                    ks.note_written(dest.nbytes(), self._space_of(dest.mem))
                 if self.mode != "real" and self.debug:
                     self._check_region(dest)
                 if self.mode == "real":
@@ -622,7 +645,7 @@ class MemExecutor:
             assert isinstance(src, RuntimeArray)
             idx = [eval_sym(i, env) for i in exp.indices]
             if src.mem not in self._local_mems:
-                self._count_read(src.itemsize)
+                self._count_read(src.itemsize, self._space_of(src.mem))
             if self.mode == "real":
                 off = src.ixfn.apply_concrete(idx, {})
                 if self.debug:
@@ -665,7 +688,7 @@ class MemExecutor:
                 ks = self._kernel(stmt, "reduce", f"reduce:{stmt.names[0]}")
                 ks.launches += 1
             if src.mem not in self._local_mems:
-                ks.bytes_read += src.nbytes()
+                ks.note_read(src.nbytes(), self._space_of(src.mem))
                 ks.bytes_written += src.itemsize
             ks.flops += src.size()
             if self.mode == "real":
@@ -707,7 +730,7 @@ class MemExecutor:
                 ks = self._kernel(stmt, "update", f"update:{stmt.names[0]}")
                 ks.launches += 1
             if is_global:
-                ks.bytes_written += result.itemsize
+                ks.note_written(result.itemsize, self._space_of(result.mem))
             if self.mode == "real":
                 off = result.ixfn.apply_concrete(idx, {})
                 if self.debug:
@@ -806,6 +829,7 @@ class MemExecutor:
                 per_elem = (1 if rec.duplicated else 2) * rec.elem_bytes
                 self.stats.bytes_elided_fusion += per_elem * n
             self._kernel_baseline = self._live_bytes
+            self._kernel_baseline_by_space = dict(self._live_by_space)
             self._kernel_allocs = []
 
         def run_thread(i: int) -> None:
@@ -819,7 +843,9 @@ class MemExecutor:
                 if isinstance(val, RuntimeArray):
                     self._copy_region(val, region, stmt, "map")
                 else:
-                    self._count_write(dest.itemsize)
+                    self._count_write(
+                        dest.itemsize, self._space_of(dest.mem)
+                    )
                     if self.mode == "real":
                         buf = self.mem[dest.mem]
                         off = region.ixfn.apply_concrete(
@@ -876,18 +902,22 @@ class MemExecutor:
                     self.stats = sub
                     sub_ks = sub.kernel(id(stmt), "map", ks.label)
                     self._kernel_stack.append(sub_ks)
-                    live_before = self._live_bytes
+                    live_before = dict(self._live_by_space)
                     try:
                         run_thread(width // 2)
                     finally:
                         self._kernel_stack.pop()
                         self.stats = outer_stats
                     # Every thread's scratch coexists for the kernel's
-                    # duration: scale the representative thread's growth.
-                    growth = self._live_bytes - live_before
-                    self._live_bytes += growth * (width - 1)
-                    if self._live_bytes > self._peak_bytes:
-                        self._peak_bytes = self._live_bytes
+                    # duration: scale the representative thread's growth
+                    # (per space, so the partitioned peaks scale exactly
+                    # like the total).
+                    for sp in set(self._live_by_space) | set(live_before):
+                        growth = self._live_by_space.get(
+                            sp, 0
+                        ) - live_before.get(sp, 0)
+                        if growth:
+                            self._bump_live(sp, growth * (width - 1))
                     self.stats.merge_scaled(sub, width)
         finally:
             self._kernel_stack.pop()
@@ -901,6 +931,7 @@ class MemExecutor:
                         lst.remove(unique)
                 self._kernel_allocs = []
                 self._live_bytes = self._kernel_baseline
+                self._live_by_space = dict(self._kernel_baseline_by_space)
 
         for pe, dest in zip(stmt.pattern, dests):
             env[pe.name] = dest
@@ -936,7 +967,7 @@ class MemExecutor:
             self.stats = sub
             proxy = sub.kernel(cur.key[0], cur.key[1], cur.label)
             self._kernel_stack.append(proxy)
-            live_before = self._live_bytes
+            live_before = dict(self._live_by_space)
             try:
                 self._run_loop_iterations(
                     iterations, stmt, exp, env, state, param_bindings
@@ -946,11 +977,16 @@ class MemExecutor:
                 self.stats = outer_stats
                 self.stats.merge_scaled(sub, scale)
                 # Extrapolate the sampled iterations' allocation growth
-                # the same way merge_scaled extrapolates their traffic.
-                growth = self._live_bytes - live_before
-                self._live_bytes = live_before + int(growth * scale)
-                if self._live_bytes > self._peak_bytes:
-                    self._peak_bytes = self._live_bytes
+                # the same way merge_scaled extrapolates their traffic
+                # (per space, mirroring the dry-map scaling).
+                for sp in set(self._live_by_space) | set(live_before):
+                    growth = self._live_by_space.get(
+                        sp, 0
+                    ) - live_before.get(sp, 0)
+                    if growth:
+                        self._bump_live(
+                            sp, int(growth * scale) - growth
+                        )
         else:
             self._run_loop_iterations(
                 iterations, stmt, exp, env, state, param_bindings

@@ -89,14 +89,14 @@ def rewrite_mem_bindings(fun: A.Fun, mapping: Dict[str, str]) -> int:
         for pe in stmt.pattern:
             b = binding_of(pe) if pe.mem is not None else None
             if b is not None and b.mem in mapping:
-                pe.mem = MemBinding(resolve(b.mem), b.ixfn)
+                pe.mem = MemBinding(resolve(b.mem), b.ixfn, b.space)
                 changed += 1
         if isinstance(stmt.exp, A.Loop):
             pb = getattr(stmt.exp.body, "param_bindings", None)
             if pb:
                 for prm, b in list(pb.items()):
                     if b.mem in mapping:
-                        pb[prm] = MemBinding(resolve(b.mem), b.ixfn)
+                        pb[prm] = MemBinding(resolve(b.mem), b.ixfn, b.space)
                         changed += 1
         if stmt.fused and any(
             r.mem in mapping or set(r.write_mems) & mapping.keys()

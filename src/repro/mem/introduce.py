@@ -27,7 +27,7 @@ The pass never changes program semantics; it only adds annotations and
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.lmad import IndexFn, antiunify_ixfns
 from repro.symbolic import Prover, SymExpr
@@ -42,6 +42,11 @@ class _Introducer:
         self.fun = fun
         self.prover = Prover(fun.build_context())
         self.counter = 0
+        # Depth of map-lambda nesting at the current program point.  A
+        # fresh array allocated inside a kernel body is thread-private
+        # working storage and is placed in the on-chip scratchpad; only
+        # host-level allocations default to HBM.
+        self.kernel_depth = 0
         # Bindings of every array variable currently in scope.
         self.bindings: Dict[str, MemBinding] = {}
         for p in fun.params:
@@ -55,9 +60,17 @@ class _Introducer:
         self.counter += 1
         return f"{prefix}_{self.counter}"
 
-    def alloc_stmt(self, size: SymExpr, dtype: str) -> Tuple[A.Let, str]:
+    def placement_space(self) -> str:
+        """Default memory space at the current program point."""
+        return "scratch" if self.kernel_depth else "hbm"
+
+    def alloc_stmt(
+        self, size: SymExpr, dtype: str, space: Optional[str] = None
+    ) -> Tuple[A.Let, str]:
+        if space is None:
+            space = self.placement_space()
         mem = self.fresh("mem")
-        stmt = A.Let([A.PatElem(mem, MEM_TYPE)], A.Alloc(size, dtype))
+        stmt = A.Let([A.PatElem(mem, MEM_TYPE)], A.Alloc(size, dtype, space))
         return stmt, mem
 
     def bind_fresh(
@@ -66,9 +79,10 @@ class _Introducer:
         """Alloc a block for a fresh array and annotate its pattern element."""
         t = pe.type
         assert isinstance(t, ArrayType)
-        stmt, mem = self.alloc_stmt(t.size(), t.dtype)
+        space = self.placement_space()
+        stmt, mem = self.alloc_stmt(t.size(), t.dtype, space)
         out.append(stmt)
-        binding = MemBinding(mem, IndexFn.row_major(t.shape))
+        binding = MemBinding(mem, IndexFn.row_major(t.shape), space)
         pe.mem = binding
         self.bindings[pe.name] = binding
 
@@ -134,7 +148,11 @@ class _Introducer:
             return
         # --- compound statements -------------------------------------
         if isinstance(exp, A.Map):
-            self.process_block(exp.lam.body)
+            self.kernel_depth += 1
+            try:
+                self.process_block(exp.lam.body)
+            finally:
+                self.kernel_depth -= 1
             for pe in stmt.pattern:
                 if pe.is_array():
                     self.bind_fresh(pe, out)
@@ -226,10 +244,11 @@ class _Introducer:
     ) -> MemBinding:
         """Replace result position k with a fresh row-major copy."""
         old = block.result[k]
-        stmt_alloc, mem = self.alloc_stmt(t.size(), t.dtype)
+        space = self.placement_space()
+        stmt_alloc, mem = self.alloc_stmt(t.size(), t.dtype, space)
         new_name = self.fresh(old + "_cp")
         pe = A.PatElem(new_name, ArrayType(t.dtype, t.shape, unique=True))
-        binding = MemBinding(mem, IndexFn.row_major(t.shape))
+        binding = MemBinding(mem, IndexFn.row_major(t.shape), space)
         pe.mem = binding
         block.stmts.append(stmt_alloc)
         block.stmts.append(A.Let([pe], A.Copy(old)))
@@ -249,15 +268,18 @@ class _Introducer:
             if isinstance(prm.type, ArrayType):
                 b = self.bindings[init]
                 if not b.ixfn.is_direct(self.prover):
+                    space = self.placement_space()
                     stmt_alloc, mem = self.alloc_stmt(
-                        prm.type.size(), prm.type.dtype
+                        prm.type.size(), prm.type.dtype, space
                     )
                     out.append(stmt_alloc)
                     cp = self.fresh(init + "_cp")
                     pe = A.PatElem(
                         cp, ArrayType(prm.type.dtype, prm.type.shape, True)
                     )
-                    binding = MemBinding(mem, IndexFn.row_major(prm.type.shape))
+                    binding = MemBinding(
+                        mem, IndexFn.row_major(prm.type.shape), space
+                    )
                     pe.mem = binding
                     out.append(A.Let([pe], A.Copy(init)))
                     self.bindings[cp] = binding

@@ -26,16 +26,26 @@ MEM_TYPE = ScalarType("i64")
 
 @dataclass(frozen=True)
 class MemBinding:
-    """``array @ mem -> ixfn``: where an array's elements live."""
+    """``array @ mem -> ixfn``: where an array's elements live.
+
+    ``space`` mirrors the block's memory space (see
+    :mod:`repro.mem.spaces`); the alloc statement is authoritative and
+    verifier rule MS02 audits that every binding agrees with it.
+    """
 
     mem: str
     ixfn: IndexFn
+    space: str = "hbm"
 
     def __str__(self) -> str:
-        return f"{self.mem} -> {self.ixfn}"
+        tag = f" @{self.space}" if self.space != "hbm" else ""
+        return f"{self.mem}{tag} -> {self.ixfn}"
 
     def with_ixfn(self, ixfn: IndexFn) -> "MemBinding":
-        return MemBinding(self.mem, ixfn)
+        return MemBinding(self.mem, ixfn, self.space)
+
+    def with_space(self, space: str) -> "MemBinding":
+        return MemBinding(self.mem, self.ixfn, space)
 
 
 def param_mem_name(param: str) -> str:

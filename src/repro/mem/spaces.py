@@ -1,0 +1,149 @@
+"""First-class memory spaces.
+
+Every memory block (``alloc`` statement or parameter block) lives in a
+named *space*: the flat device memory (``hbm``), the on-chip scratchpad
+shared by a kernel's threads (``scratch``), or the register file
+(``regs``).  The space is carried on both the :class:`~repro.ir.ast.Alloc`
+expression (the source of truth) and on every
+:class:`~repro.mem.memir.MemBinding` that views the block (audited by
+verifier rule MS02), so it survives pretty-print/parse round-trips and
+is visible to every pass.
+
+Spaces are deliberately *descriptive*, not semantic: erasing them (like
+erasing the bindings themselves) recovers the same functional program.
+They change what the accountants report (per-space traffic and peaks),
+what the coalescer may merge (never across spaces, MS02), what the
+capacity rule admits (MS01), and what the cost model charges (tiered
+bandwidths in :mod:`repro.gpu.costmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.ir import ast as A
+from repro.ir.types import ArrayType
+from repro.mem.memir import binding_of, iter_stmts, param_mem_name
+
+
+@dataclass(frozen=True)
+class MemSpace:
+    """One addressable memory tier of the simulated device."""
+
+    name: str
+    #: Capacity in bytes; ``None`` means unbounded (host-sized HBM).
+    capacity: Optional[int]
+    description: str
+
+
+#: Default space for every block the frontend or a pass does not place
+#: explicitly.  All parameter blocks live here.
+DEFAULT_SPACE = "hbm"
+
+#: The registry.  Capacities model a generic data-center GPU: HBM is
+#: treated as unbounded (the footprint gates police it separately),
+#: the scratchpad is 192 KiB per kernel instance (A100-class unified
+#: shared memory), and the register file budget per thread is 1 KiB
+#: (256 x 32-bit registers).
+SPACES: Dict[str, MemSpace] = {
+    "hbm": MemSpace("hbm", None, "device-global high-bandwidth memory"),
+    "scratch": MemSpace(
+        "scratch", 192 * 1024, "per-kernel shared scratchpad (on-chip)"
+    ),
+    "regs": MemSpace("regs", 1024, "per-thread register file"),
+}
+
+
+def space_of(name: str) -> MemSpace:
+    """Look up a space by name; unknown names are a hard error."""
+    try:
+        return SPACES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown memory space {name!r} (known: {sorted(SPACES)})"
+        ) from None
+
+
+def is_space(name: str) -> bool:
+    return name in SPACES
+
+
+def alloc_spaces(fun: A.Fun) -> Dict[str, str]:
+    """Map every memory block name to its space.
+
+    Covers ``alloc``-bound blocks (their :class:`~repro.ir.ast.Alloc`
+    carries the space) and parameter blocks (always ``hbm``).
+    Existential blocks (if/loop results) are *not* included -- their
+    space is whichever branch block they resolve to at run time.
+    """
+    out: Dict[str, str] = {}
+    for p in fun.params:
+        if isinstance(p.type, ArrayType):
+            out[param_mem_name(p.name)] = DEFAULT_SPACE
+    for stmt in iter_stmts(fun.body):
+        if isinstance(stmt.exp, A.Alloc):
+            out[stmt.pattern[0].name] = stmt.exp.space
+    return out
+
+
+def assign_space(fun: A.Fun, mem: str, space: str) -> int:
+    """Re-home one alloc'd block into ``space``, updating the Alloc and
+    every binding that views the block.  Returns the number of rewritten
+    sites.  Used by the fuzz corpus to generate cross-space programs and
+    by tests; real placement happens in :mod:`repro.mem.introduce`.
+    """
+    space_of(space)  # validate
+    changed = 0
+    for stmt in iter_stmts(fun.body):
+        if (
+            isinstance(stmt.exp, A.Alloc)
+            and stmt.pattern
+            and stmt.pattern[0].name == mem
+        ):
+            stmt.exp = A.Alloc(stmt.exp.size, stmt.exp.dtype, space)
+            changed += 1
+        for pe in stmt.pattern:
+            if pe.is_array() and pe.mem is not None:
+                b = binding_of(pe)
+                if b.mem == mem and b.space != space:
+                    pe.mem = b.with_space(space)
+                    changed += 1
+        if isinstance(stmt.exp, A.Loop):
+            pb = getattr(stmt.exp.body, "param_bindings", None)
+            if pb:
+                for prm, b in list(pb.items()):
+                    if b.mem == mem and b.space != space:
+                        pb[prm] = b.with_space(space)
+                        changed += 1
+    return changed
+
+
+def sync_binding_spaces(fun: A.Fun) -> int:
+    """Stamp every binding with its block's declared space.
+
+    The introduce pass and all rewriting passes maintain binding spaces
+    incrementally; this helper exists for programs built by hand (tests,
+    the parser) whose bindings predate a space assignment.  Bindings to
+    existential blocks are left untouched.  Returns the number of
+    bindings updated.
+    """
+    table = alloc_spaces(fun)
+    changed = 0
+    for stmt in iter_stmts(fun.body):
+        for pe in stmt.pattern:
+            if pe.is_array() and pe.mem is not None:
+                b = binding_of(pe)
+                want = table.get(b.mem)
+                if want is not None and b.space != want:
+                    pe.mem = b.with_space(want)
+                    changed += 1
+        if isinstance(stmt.exp, A.Loop):
+            pb = getattr(stmt.exp.body, "param_bindings", None)
+            if pb:
+                for prm, b in list(pb.items()):
+                    want = table.get(b.mem)
+                    if want is not None and b.space != want:
+                        pb[prm] = b.with_space(want)
+                        changed += 1
+    return changed

@@ -32,16 +32,50 @@ class KernelStat:
     bytes_read: int = 0
     bytes_written: int = 0
     flops: int = 0
+    #: Per-space traffic attribution (:mod:`repro.mem.spaces`): bytes of
+    #: ``bytes_read``/``bytes_written`` that touched a *non-HBM* space.
+    #: HBM traffic is the remainder, so the totals above stay the single
+    #: source of truth (and the signature stays space-agnostic).
+    space_read: Dict[str, int] = field(default_factory=dict)
+    space_written: Dict[str, int] = field(default_factory=dict)
 
     @property
     def bytes_total(self) -> int:
         return self.bytes_read + self.bytes_written
+
+    def read_in(self, space: str) -> int:
+        if space == "hbm":
+            return self.bytes_read - sum(self.space_read.values())
+        return self.space_read.get(space, 0)
+
+    def written_in(self, space: str) -> int:
+        if space == "hbm":
+            return self.bytes_written - sum(self.space_written.values())
+        return self.space_written.get(space, 0)
+
+    def note_read(self, nbytes: int, space: str = "hbm") -> None:
+        self.bytes_read += nbytes
+        if space != "hbm":
+            self.space_read[space] = self.space_read.get(space, 0) + nbytes
+
+    def note_written(self, nbytes: int, space: str = "hbm") -> None:
+        self.bytes_written += nbytes
+        if space != "hbm":
+            self.space_written[space] = (
+                self.space_written.get(space, 0) + nbytes
+            )
 
     def merge_scaled(self, other: "KernelStat", factor: float) -> None:
         self.launches += other.launches  # launches do not scale with threads
         self.bytes_read += int(other.bytes_read * factor)
         self.bytes_written += int(other.bytes_written * factor)
         self.flops += int(other.flops * factor)
+        for sp, n in other.space_read.items():
+            self.space_read[sp] = self.space_read.get(sp, 0) + int(n * factor)
+        for sp, n in other.space_written.items():
+            self.space_written[sp] = (
+                self.space_written.get(sp, 0) + int(n * factor)
+            )
 
 
 @dataclass
@@ -98,6 +132,17 @@ class ExecStats:
     #: Pure bookkeeping -- excluded from :meth:`signature`.
     cold_compile_seconds: float = 0.0
     warm_call_seconds: float = 0.0
+    #: Per-space high-water marks, same lifetime model as ``peak_bytes``
+    #: (which remains the all-spaces total).  Keyed by space name; like
+    #: ``peak_bytes`` they are stamped once at run end and excluded from
+    #: :meth:`signature` and :meth:`merge_scaled`.
+    space_peak_bytes: Dict[str, int] = field(default_factory=dict)
+    #: Bytes moved by inter-device halo-exchange copies when a program
+    #: runs sharded (:mod:`repro.shard`).  Describes the *distribution*
+    #: of the run, not the program's own semantics, so it is excluded
+    #: from :meth:`signature` (satellite of the pool_hits precedent) and
+    #: surfaced in ``--explain`` instead.
+    halo_bytes: int = 0
 
     # ------------------------------------------------------------------
     def kernel(self, site: int, kind: str, label: str) -> KernelStat:
@@ -151,6 +196,23 @@ class ExecStats:
     @property
     def launches(self) -> int:
         return sum(k.launches for k in self.kernels.values())
+
+    def read_in(self, space: str) -> int:
+        return sum(k.read_in(space) for k in self.kernels.values())
+
+    def written_in(self, space: str) -> int:
+        return sum(k.written_in(space) for k in self.kernels.values())
+
+    def bytes_in(self, space: str) -> int:
+        return self.read_in(space) + self.written_in(space)
+
+    def spaces_touched(self) -> tuple:
+        """Space names with any traffic or peak recorded, hbm first."""
+        seen = {"hbm"}
+        for k in self.kernels.values():
+            seen |= set(k.space_read) | set(k.space_written)
+        seen |= set(self.space_peak_bytes)
+        return tuple(sorted(seen, key=lambda s: (s != "hbm", s)))
 
     @property
     def pool_hit_rate(self) -> float:
@@ -241,4 +303,14 @@ class ExecStats:
                 f"{self.pool_misses} fresh "
                 f"(hit rate {self.pool_hit_rate:.2f})"
             )
+        spaces = self.spaces_touched()
+        if len(spaces) > 1:
+            for sp in spaces:
+                lines.append(
+                    f"space {sp:<9} : {self.read_in(sp):,} read / "
+                    f"{self.written_in(sp):,} written / "
+                    f"peak {self.space_peak_bytes.get(sp, 0):,}"
+                )
+        if self.halo_bytes:
+            lines.append(f"halo exchange   : {self.halo_bytes:,} bytes")
         return "\n".join(lines)

@@ -378,7 +378,7 @@ class _VecRun:
             if isinstance(val, (VArr, RuntimeArray)):
                 self.copy_region(self._as_varr(val), region, lanes)
             else:
-                ex._count_write(dest.itemsize * W)
+                ex._count_write(dest.itemsize * W, ex._space_of(dest.mem))
                 offs = self.point_offsets(region, [0] * region.ixfn.rank, lanes)
                 buf = ex.mem[dest.mem]
                 if isinstance(offs, np.ndarray):
@@ -423,7 +423,12 @@ class _VecRun:
             ex.stats.alloc_bytes += W * size * DTYPE_INFO[exp.dtype][1]
             # One W-lane buffer stands for W per-thread blocks: same live
             # bytes as the interpreted tier's per-thread allocations.
-            ex._note_alloc(stmt.names[0], unique, W * size * DTYPE_INFO[exp.dtype][1])
+            ex._note_alloc(
+                stmt.names[0],
+                unique,
+                W * size * DTYPE_INFO[exp.dtype][1],
+                exp.space,
+            )
             return
 
         if isinstance(exp, (A.Lit, A.ScalarE, A.BinOp, A.UnOp)):
@@ -446,7 +451,10 @@ class _VecRun:
             dest = self._binding_value(stmt.pattern[0], venv, lanes)
             if not isinstance(exp, A.Scratch):
                 if dest.mem not in ex._local_mems:
-                    ex._count_write(self._varr_nbytes(dest, lanes) * L)
+                    ex._count_write(
+                        self._varr_nbytes(dest, lanes) * L,
+                        ex._space_of(dest.mem),
+                    )
                 offs = self.region_offsets(dest, lanes)
                 buf = ex.mem[dest.mem]
                 if offs.size:
@@ -473,7 +481,7 @@ class _VecRun:
             src = self._as_varr(venv[exp.src])
             idx = [self._eval_scalar(i, venv, lanes) for i in exp.indices]
             if src.mem not in ex._local_mems:
-                ex._count_read(src.itemsize * L)
+                ex._count_read(src.itemsize * L, ex._space_of(src.mem))
             off = self.point_offsets(src, idx, lanes)
             buf = ex.mem[src.mem]
             venv[stmt.names[0]] = buf[off]
@@ -529,7 +537,9 @@ class _VecRun:
         spec = exp.spec
         if isinstance(spec, A.PointSpec):
             if result.mem not in ex._local_mems:
-                ex._count_write(result.itemsize * L)
+                ex._count_write(
+                    result.itemsize * L, ex._space_of(result.mem)
+                )
             idx = [self._eval_scalar(i, venv, lanes) for i in spec.indices]
             off = self.point_offsets(result, idx, lanes)
             val = self._operand(exp.value, venv, lanes)
@@ -620,7 +630,9 @@ class _VecRun:
                     if isinstance(val, (VArr, RuntimeArray)):
                         sub.copy_region(sub._as_varr(val), region, clanes)
                     else:
-                        ex._count_write(dexp.itemsize * big)
+                        ex._count_write(
+                            dexp.itemsize * big, ex._space_of(dexp.mem)
+                        )
                         offs = sub.point_offsets(
                             region, [0] * region.ixfn.rank, clanes
                         )
@@ -914,9 +926,9 @@ class _VecRun:
         ks = ex._current_kernel()
         assert ks is not None
         if src.mem not in ex._local_mems:
-            ks.bytes_read += src_nb * n_rem
+            ks.note_read(src_nb * n_rem, ex._space_of(src.mem))
         if dst.mem not in ex._local_mems:
-            ks.bytes_written += dst_nb * n_rem
+            ks.note_written(dst_nb * n_rem, ex._space_of(dst.mem))
         rlanes = lanes[~elide]
         doffs = self.region_offsets(dst, rlanes)
         if doffs.size:

@@ -155,9 +155,12 @@ class _Scope:
 class _Candidate:
     """State of one in-flight short-circuiting attempt."""
 
-    def __init__(self, root: str, root_ixfn: IndexFn, dst_mem: str):
+    def __init__(
+        self, root: str, root_ixfn: IndexFn, dst_mem: str, dst_space: str = "hbm"
+    ):
         self.root = root
         self.dst_mem = dst_mem
+        self.dst_space = dst_space
         self.pending: Dict[str, IndexFn] = {root: root_ixfn}
         self.names: Set[str] = {root}
         self.planned: List[Tuple[A.PatElem, MemBinding]] = []
@@ -363,7 +366,7 @@ class _ShortCircuiter:
             return False
         if src.mem == dst.mem and src.ixfn == dst.ixfn:
             return False  # already a no-op
-        cand = _Candidate(exp.src, dst.ixfn, dst.mem)
+        cand = _Candidate(exp.src, dst.ixfn, dst.mem, dst.space)
         return self._attempt(block, scope, idx, cand)
 
     def _circuit_copy_reuse(self, scope: _Scope, stmt: A.Let, exp: A.Copy) -> bool:
@@ -391,7 +394,7 @@ class _ShortCircuiter:
         prover, _ = self._prover_for(scope.ctx)
         if not sb.ixfn.is_direct(prover):
             return False
-        pe.mem = MemBinding(sb.mem, sb.ixfn)
+        pe.mem = MemBinding(sb.mem, sb.ixfn, sb.space)
         scope.bindings[pe.name] = pe.mem
         self.stats.reused_copies += 1
         return True
@@ -435,7 +438,7 @@ class _ShortCircuiter:
         region = _ixfn_region_of_update(src_binding, exp.spec)
         if val_binding.mem == src_binding.mem and val_binding.ixfn == region:
             return False  # already short-circuited
-        cand = _Candidate(value, region, src_binding.mem)
+        cand = _Candidate(value, region, src_binding.mem, src_binding.space)
         return self._attempt(block, scope, idx, cand)
 
     def _circuit_concat(self, block, scope, idx, stmt, exp: A.Concat) -> bool:
@@ -460,7 +463,7 @@ class _ShortCircuiter:
                     + [(sym(0), d, sym(1)) for d in rest_dims]
                 )
                 if not (ob.mem == dst_binding.mem and ob.ixfn == region):
-                    cand = _Candidate(o, region, dst_binding.mem)
+                    cand = _Candidate(o, region, dst_binding.mem, dst_binding.space)
                     changed |= self._attempt(block, scope, idx, cand)
             offset = offset + rows
         return changed
@@ -486,7 +489,7 @@ class _ShortCircuiter:
             rb = child.bindings.get(r)
             if rb is None or (rb.mem == dstb.mem and rb.ixfn == region):
                 continue
-            cand = _Candidate(r, region, dstb.mem)
+            cand = _Candidate(r, region, dstb.mem, dstb.space)
             ok = self._attempt(
                 body,
                 child,
@@ -719,7 +722,7 @@ class _ShortCircuiter:
                     self._validate_creating_map(stmt, j, exp, Ft, scope, cand, prover, checker)
                 elif not isinstance(exp, A.Scratch):
                     self._check_write(Ft, cand, checker, type(exp).__name__.lower())
-                cand.planned.append((pe, MemBinding(cand.dst_mem, Ft)))
+                cand.planned.append((pe, MemBinding(cand.dst_mem, Ft, cand.dst_space)))
                 if isinstance(exp, A.Concat):
                     self._chain_concat_operands(stmt, exp, Ft, scope, cand)
                 continue
@@ -748,14 +751,14 @@ class _ShortCircuiter:
                     cand.extra_sets.append(
                         slice_box_difference(inv.as_single(), starts, counts)
                     )
-                cand.planned.append((pe, MemBinding(cand.dst_mem, Ft)))
+                cand.planned.append((pe, MemBinding(cand.dst_mem, Ft, cand.dst_space)))
                 cand.pending[src] = inv
                 cand.names.add(src)
                 continue
 
             if isinstance(exp, A.Update):
                 region = _ixfn_region_of_update(
-                    MemBinding(cand.dst_mem, Ft), exp.spec
+                    MemBinding(cand.dst_mem, Ft, cand.dst_space), exp.spec
                 )
                 if cand.extra_sets and self._is_noop_write(
                     j, block, scope, exp, region, prover, cand
@@ -780,7 +783,7 @@ class _ShortCircuiter:
                             extra = AccessSet()
                             extra.add_ixfn(vb.ixfn)
                     self._check_write(region, cand, checker, "update", extra)
-                cand.planned.append((pe, MemBinding(cand.dst_mem, Ft)))
+                cand.planned.append((pe, MemBinding(cand.dst_mem, Ft, cand.dst_space)))
                 cand.pending[exp.src] = Ft
                 cand.names.add(exp.src)
                 continue
@@ -867,12 +870,12 @@ class _ShortCircuiter:
     ) -> None:
         """Fig. 5a: recurse into both branches."""
         k = stmt.names.index(pe.name)
-        cand.planned.append((pe, MemBinding(cand.dst_mem, Ft)))
+        cand.planned.append((pe, MemBinding(cand.dst_mem, Ft, cand.dst_space)))
         for blk in (exp.then_block, exp.else_block):
             res = blk.result[k]
             child = self._child_scope(blk, scope, j, set(), {}, [])
             self._populate_scope(child)
-            sub = _Candidate(res, Ft, cand.dst_mem)
+            sub = _Candidate(res, Ft, cand.dst_mem, cand.dst_space)
             sub.names |= cand.names
             sub.extra_sets = cand.extra_sets
             sub.uses.add_all(cand.uses)
@@ -904,7 +907,7 @@ class _ShortCircuiter:
         self._populate_scope(child)
 
         body_prover, body_checker = self._prover_for(child.ctx)
-        sub = _Candidate(body_res, Ft, cand.dst_mem)
+        sub = _Candidate(body_res, Ft, cand.dst_mem, cand.dst_space)
         sub.names |= cand.names
         sub.extra_sets = cand.extra_sets
         self._walk(
@@ -947,10 +950,10 @@ class _ShortCircuiter:
         if not w_loop.disjoint_from(cand.uses, checker):
             raise _Failure("loop-writes-overlap-later-uses")
 
-        cand.planned.append((pe, MemBinding(cand.dst_mem, Ft)))
+        cand.planned.append((pe, MemBinding(cand.dst_mem, Ft, cand.dst_space)))
         cand.planned.extend(sub.planned)
         cand.planned_params.extend(sub.planned_params)
-        cand.planned_params.append((pb, prm.name, MemBinding(cand.dst_mem, Ft)))
+        cand.planned_params.append((pb, prm.name, MemBinding(cand.dst_mem, Ft, cand.dst_space)))
         cand.writes.add_all(w_loop)
         cand.uses.add_all(u_loop)
         cand.names |= sub.names

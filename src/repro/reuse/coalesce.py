@@ -175,13 +175,21 @@ class _Coalescer:
                 saw_free = True
                 self.stats.reject("dtype")
                 continue
+            if donor.stmt.exp.space != node.stmt.exp.space:
+                # Coalescing across memory spaces would silently migrate
+                # data between devices-within-the-device (MS02).
+                saw_free = True
+                self.stats.reject("space")
+                continue
             mode = self._size_mode(donor, node, prover, prefix)
             if mode is None:
                 saw_free = True
                 self.stats.reject("size")
                 continue
             if mode == "widened":
-                donor.stmt.exp = A.Alloc(node.size, donor.dtype)
+                donor.stmt.exp = A.Alloc(
+                    node.size, donor.dtype, donor.stmt.exp.space
+                )
                 self.stats.widened += 1
             self.stats.merged += 1
             self.stats.records.append((donor.mem, node.mem, mode))

@@ -31,7 +31,7 @@ vectorized engine independently requires.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np
@@ -62,12 +62,13 @@ UNKNOWN = _Unknown()
 class _Inst:
     """One runtime instance of an allocation (or an input block)."""
 
-    __slots__ = ("static", "nbytes", "freed")
+    __slots__ = ("static", "nbytes", "freed", "space")
 
-    def __init__(self, static: str, nbytes: int):
+    def __init__(self, static: str, nbytes: int, space: str = "hbm"):
         self.static = static
         self.nbytes = nbytes
         self.freed = False
+        self.space = space
 
 
 @dataclass(frozen=True)
@@ -97,6 +98,9 @@ class FootprintEstimate:
     alloc_bytes: int
     #: Total allocation count (matches ``ExecStats.alloc_count``).
     alloc_count: int
+    #: Per-space high-water marks (matches ``ExecStats.space_peak_bytes``
+    #: of a real-mode run, with the same caveats as ``peak_bytes``).
+    space_peaks: Dict[str, int] = field(default_factory=dict)
 
     @property
     def naive_bytes(self) -> int:
@@ -118,12 +122,15 @@ class _Estimator:
         self.inputs = inputs
         self.live = 0
         self.peak = 0
+        self.live_by_space: Dict[str, int] = {}
+        self.peak_by_space: Dict[str, int] = {}
         self.param_bytes = 0
         self.alloc_total = 0
         self.alloc_count = 0
         self.depth = 0  # kernel (map) nesting depth
         self.kernel_insts: List[_Inst] = []
         self.kernel_baseline = 0
+        self.kernel_baseline_by_space: Dict[str, int] = {}
         self.alloc_log: List[_Inst] = []
         self.by_name: Dict[str, List[_Inst]] = {}
         self.param_insts: Dict[str, _Inst] = {}
@@ -131,14 +138,18 @@ class _Estimator:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
-    def _bump(self, nbytes: int) -> None:
+    def _bump(self, nbytes: int, space: str = "hbm") -> None:
         self.live += nbytes
         if self.live > self.peak:
             self.peak = self.live
+        live = self.live_by_space.get(space, 0) + nbytes
+        self.live_by_space[space] = live
+        if live > self.peak_by_space.get(space, 0):
+            self.peak_by_space[space] = live
 
-    def _note_alloc(self, static: str, nbytes: int) -> _Inst:
-        inst = _Inst(static, nbytes)
-        self._bump(nbytes)
+    def _note_alloc(self, static: str, nbytes: int, space: str = "hbm") -> _Inst:
+        inst = _Inst(static, nbytes, space)
+        self._bump(nbytes, space)
         self.alloc_total += nbytes
         self.alloc_count += 1
         self.alloc_log.append(inst)
@@ -152,6 +163,9 @@ class _Estimator:
             return
         inst.freed = True
         self.live -= inst.nbytes
+        self.live_by_space[inst.space] = (
+            self.live_by_space.get(inst.space, 0) - inst.nbytes
+        )
         lst = self.by_name.get(inst.static)
         if lst and inst in lst:
             lst.remove(inst)
@@ -170,6 +184,7 @@ class _Estimator:
             [i.freed for i in self.alloc_log],
             {k: list(v) for k, v in self.by_name.items()},
             list(self.kernel_insts),
+            dict(self.live_by_space),
         )
 
     def _restore(self, snap) -> None:
@@ -181,7 +196,9 @@ class _Estimator:
             freed,
             by_name,
             kernel_insts,
+            live_by_space,
         ) = snap
+        self.live_by_space = dict(live_by_space)
         self.alloc_log = list(log)
         for inst, f in zip(self.alloc_log, freed):
             inst.freed = f
@@ -261,6 +278,7 @@ class _Estimator:
             param_bytes=self.param_bytes,
             alloc_bytes=self.alloc_total,
             alloc_count=self.alloc_count,
+            space_peaks=dict(self.peak_by_space),
         )
 
     def _bind_input_array(self, p: A.Param, env) -> None:
@@ -284,7 +302,7 @@ class _Estimator:
         nbytes = size * DTYPE_INFO[t.dtype][1]
         inst = _Inst(param_mem_name(p.name), nbytes)
         self.param_bytes += nbytes
-        self._bump(nbytes)
+        self._bump(nbytes, "hbm")
         self.param_insts[param_mem_name(p.name)] = inst
         env[p.name] = _ArrVal(inst, t.dtype)
 
@@ -315,7 +333,9 @@ class _Estimator:
             size = self._require_int(
                 self._eval_sym(exp.size, env), "allocation size", stmt
             )
-            inst = self._note_alloc(stmt.names[0], size * DTYPE_INFO[exp.dtype][1])
+            inst = self._note_alloc(
+                stmt.names[0], size * DTYPE_INFO[exp.dtype][1], exp.space
+            )
             env[stmt.names[0]] = _MemVal(inst)
             return
 
@@ -396,20 +416,23 @@ class _Estimator:
         ]
         if self.depth == 0:
             self.kernel_baseline = self.live
+            self.kernel_baseline_by_space = dict(self.live_by_space)
             self.kernel_insts = []
         self.depth += 1
-        before = (self.live, self.alloc_total, self.alloc_count)
+        before = (self.alloc_total, self.alloc_count)
+        before_by_space = dict(self.live_by_space)
         if width > 0:
             # One representative thread, growth scaled by the width: every
             # thread's scratch coexists for the duration of the kernel.
             child = dict(env)
             child[exp.lam.params[0]] = width // 2
             self._block(exp.lam.body, child)
-            self.live += (self.live - before[0]) * (width - 1)
-            self.alloc_total += (self.alloc_total - before[1]) * (width - 1)
-            self.alloc_count += (self.alloc_count - before[2]) * (width - 1)
-            if self.live > self.peak:
-                self.peak = self.live
+            for sp in list(self.live_by_space):
+                growth = self.live_by_space[sp] - before_by_space.get(sp, 0)
+                if growth:
+                    self._bump(growth * (width - 1), sp)
+            self.alloc_total += (self.alloc_total - before[0]) * (width - 1)
+            self.alloc_count += (self.alloc_count - before[1]) * (width - 1)
         self.depth -= 1
         if self.depth == 0:
             # Kernel scratch dies wholesale at the outermost map's end.
@@ -420,6 +443,7 @@ class _Estimator:
                     lst.remove(inst)
             self.kernel_insts = []
             self.live = self.kernel_baseline
+            self.live_by_space = dict(self.kernel_baseline_by_space)
         for pe, dest in zip(stmt.pattern, dests):
             env[pe.name] = dest
 

@@ -1,0 +1,44 @@
+"""The halo-exchange program: a strided rank-1 copy in the memory IR.
+
+Sharding (:mod:`repro.shard.runner`) materializes every ghost-region
+refresh as an execution of this program rather than a host-side numpy
+assignment, so halo traffic flows through the same executor accounting
+as kernel traffic: a ``map`` gathers ``len`` elements of the source at
+stride ``sstr`` from ``soff``, and an ``update`` scatters them into the
+destination at stride ``dstr`` from ``doff``.  A stride of 1 moves a
+contiguous row block (hotspot/LBM row halos); a stride of the slab
+width moves a matrix column (NW's band-boundary ghost column).
+
+Compiled with the full preset, short-circuiting lands the gathered
+values directly in the destination block, so one exchange costs exactly
+one read and one write of the payload.
+"""
+
+from __future__ import annotations
+
+from repro.ir import FunBuilder, f32
+from repro.ir.ast import Fun
+from repro.ir.types import ScalarType
+from repro.lmad import lmad
+from repro.symbolic import Var
+
+
+def build_halo_copy() -> Fun:
+    bld = FunBuilder("halo_copy")
+    for s in ("ls", "ld", "soff", "sstr", "doff", "dstr", "cnt"):
+        bld.param(s, ScalarType("i64"))
+    S = bld.param("S", f32(Var("ls")))
+    D = bld.param("D", f32(Var("ld")))
+    bld.assume_lower("cnt", 1)
+    bld.assume_lower("sstr", 1)
+    bld.assume_lower("dstr", 1)
+    bld.assume_lower("soff", 0)
+    bld.assume_lower("doff", 0)
+
+    mp = bld.map_(Var("cnt"), index="k")
+    v = mp.index(S, [Var("soff") + mp.idx * Var("sstr")])
+    mp.returns(v)
+    (X,) = mp.end()
+    D2 = bld.update_lmad(D, lmad(Var("doff"), [(Var("cnt"), Var("dstr"))]), X)
+    bld.returns(D2)
+    return bld.build()

@@ -1,0 +1,82 @@
+"""Negative corpus for the memory-space rules (MS01/MS02).
+
+Same method as ``test_verifier.py``: compile a correct program, break
+exactly one space invariant the way a buggy pass would, and assert the
+matching rule fires (plus a clean bill for the pristine program and for
+a legal re-homing, so the corpus cannot pass vacuously).
+"""
+
+from repro.analysis import verify_fun
+from repro.analysis.diagnostics import Severity
+from repro.compiler import compile_fun
+from repro.ir import ast as A
+from repro.mem.memir import binding_of
+from repro.mem.spaces import SPACES, assign_space
+from repro.symbolic import SymExpr
+
+from tests.analysis.conftest import array_pat, find_stmt, map_stmt, simple_fun
+
+
+def _alloc_stmt(fun):
+    return find_stmt(fun, lambda s: isinstance(s.exp, A.Alloc))
+
+
+def test_pristine_spaces_are_clean(compiled_simple):
+    report = verify_fun(compiled_simple)
+    assert report.ok()
+    assert not [d for d in report.diagnostics if d.rule.startswith("MS")]
+
+
+def test_legal_rehoming_is_clean():
+    """assign_space moves the Alloc *and* every binding, which is the
+    coherent way to re-home a block: no rule may fire."""
+    fun = compile_fun(simple_fun(), short_circuit=False).fun
+    stmt = _alloc_stmt(fun)
+    assert assign_space(fun, stmt.pattern[0].name, "scratch") >= 1
+    report = verify_fun(fun)
+    assert report.ok(), report.diagnostics
+
+
+def test_ms01_scratch_overflow_is_rejected():
+    """A concrete allocation bigger than the scratchpad is a proven
+    capacity violation."""
+    fun = compile_fun(simple_fun(), short_circuit=False).fun
+    stmt = _alloc_stmt(fun)
+    assign_space(fun, stmt.pattern[0].name, "scratch")
+    too_big = SPACES["scratch"].capacity // 4 + 1  # f32 elements
+    stmt.exp = A.Alloc(SymExpr.const(too_big), stmt.exp.dtype, "scratch")
+    report = verify_fun(fun)
+    assert "MS01" in report.rules_fired()
+    assert any(
+        d.rule == "MS01" and d.severity is Severity.ERROR
+        for d in report.diagnostics
+    )
+
+
+def test_ms01_symbolic_sizes_are_skipped():
+    """Capacity claims about symbolic sizes are not decidable here: a
+    scratch block of n elements passes even though n could be huge."""
+    fun = compile_fun(simple_fun(), short_circuit=False).fun
+    stmt = _alloc_stmt(fun)
+    assign_space(fun, stmt.pattern[0].name, "scratch")
+    report = verify_fun(fun)
+    assert "MS01" not in report.rules_fired()
+
+
+def test_ms01_unknown_space_name():
+    fun = compile_fun(simple_fun(), short_circuit=False).fun
+    stmt = _alloc_stmt(fun)
+    stmt.exp = A.Alloc(stmt.exp.size, stmt.exp.dtype, "l2")
+    report = verify_fun(fun)
+    assert "MS01" in report.rules_fired()
+    assert report.errors
+
+
+def test_ms02_binding_space_mismatch(compiled_simple):
+    """Re-tagging a binding without moving the Alloc (what a careless
+    merge would do) is a space-coherence error."""
+    pe = array_pat(map_stmt(compiled_simple))
+    pe.mem = binding_of(pe).with_space("regs")
+    report = verify_fun(compiled_simple)
+    assert "MS02" in report.rules_fired()
+    assert report.errors

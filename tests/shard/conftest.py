@@ -1,0 +1,16 @@
+"""Shard tests share the in-process program cache.
+
+The root conftest clears the compile cache before every test so that
+pass-internal monkeypatching stays observable.  Nothing in this package
+patches compiler internals, and the NW rectangle program's
+short-circuit proof search is the most expensive compile in the repo
+(~30s); shadowing the autouse fixture here lets every sharding test
+reuse one compilation, exactly as the serving runtime would.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_program_cache():
+    yield
